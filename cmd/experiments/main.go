@@ -1,0 +1,180 @@
+// Command experiments regenerates the paper's evaluation artefacts: every
+// table (I–III) and figure (4–7) plus the §VI-E validity analysis and the
+// design ablations, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-scale quick|paper] [-seed N] [table1 table2 table3
+//	             fig4 fig5 fig6a fig6b fig6c fig7 validity ablations | all]
+//
+// Quick scale (default) runs reduced node counts and finishes in well under
+// a minute; paper scale uses the paper's axes (n up to 169) and can take
+// tens of minutes on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"delphi/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "quick", "experiment scale: quick, medium, or paper")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "medium":
+		scale = bench.Medium
+	case "paper":
+		scale = bench.Paper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
+			"fig6a", "fig6b", "fig6c", "fig7", "validity", "ablations"}
+	}
+
+	for _, target := range targets {
+		start := time.Now()
+		text, err := runTarget(target, scale, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", target, err)
+		}
+		fmt.Println(strings.TrimRight(text, "\n"))
+		fmt.Printf("[%s completed in %s]\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
+	switch target {
+	case "table1":
+		t, err := bench.Table1(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	case "table2":
+		t, err := bench.Table2(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	case "table3":
+		t, err := bench.Table3(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	case "fig4":
+		r, err := bench.Fig4(seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Text, nil
+	case "fig5":
+		r, err := bench.Fig5(seed)
+		if err != nil {
+			return "", err
+		}
+		return r.Text, nil
+	case "fig6a":
+		f, err := bench.Fig6a(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return f.Text, nil
+	case "fig6b":
+		f, err := bench.Fig6b(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return f.Text, nil
+	case "fig6c":
+		f, err := bench.Fig6c(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return f.Text, nil
+	case "fig7":
+		aws, cps, err := bench.Fig7(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return aws.Text + "\n" + cps.Text, nil
+	case "validity":
+		reps, err := bench.Validity(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString("validity (§VI-E) — distance from honest mean\n")
+		for _, r := range reps {
+			b.WriteString(r.Text + "\n")
+		}
+		return b.String(), nil
+	case "ablations":
+		return runAblations(seed)
+	default:
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, ablations)")
+	}
+}
+
+func runAblations(seed int64) (string, error) {
+	var b strings.Builder
+	single, multi, err := bench.AblationSingleLevel(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: single-level strawman (ρ0=Δ) vs multi-level, n=16 δ=10$\n")
+	fmt.Fprintf(&b, "  single-level |out−mean|=%.1f$   multi-level |out−mean|=%.2f$\n",
+		single.MeanAbsErr, multi.MeanAbsErr)
+
+	rows, err := bench.AblationEps(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: ε sweep (n=16, δ=20$)\n")
+	fmt.Fprintf(&b, "  %-8s %8s %10s %12s %8s\n", "eps", "rounds", "spread", "latency(ms)", "MB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %8d %10.4g %12.0f %8.2f\n", r.Name, r.Rounds, r.Spread, r.LatencyMS, r.MB)
+	}
+
+	comp, plain, err := bench.AblationCompression(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: §II-C wire compression (n=16, δ=20$)\n")
+	fmt.Fprintf(&b, "  compressed: %.2f MB   plain: %.2f MB   saving: %.1fx\n",
+		float64(comp.TotalBytes)/1e6, float64(plain.TotalBytes)/1e6,
+		float64(plain.TotalBytes)/float64(comp.TotalBytes))
+
+	slow, fast, err := bench.AblationCoinCost(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: FIN coin cost on CPS hardware (n=16)\n")
+	fmt.Fprintf(&b, "  pairing-class coin: %s   hash-class coin: %s\n",
+		slow.Latency.Round(time.Millisecond), fast.Latency.Round(time.Millisecond))
+	return b.String(), nil
+}

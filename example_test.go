@@ -1,0 +1,42 @@
+package delphi_test
+
+import (
+	"fmt"
+
+	"delphi"
+)
+
+// ExampleSimulate runs a four-node oracle cluster in the deterministic
+// virtual-time simulator and prints the agreement quality.
+func ExampleSimulate() {
+	cfg := delphi.Config{
+		Config: delphi.System{N: 4, F: 1},
+		Params: delphi.Params{S: 0, E: 100_000, Rho0: 2, Delta: 256, Eps: 2},
+	}
+	report, err := delphi.Simulate(delphi.SimSpec{
+		Config: cfg,
+		Inputs: []float64{50_000, 50_004, 50_001, 50_003},
+		Env:    delphi.EnvLocal,
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("agreement within eps: %v\n", report.Spread < cfg.Params.Eps)
+	fmt.Printf("all nodes decided: %v\n", len(report.Nodes) == 4)
+	// Output:
+	// agreement within eps: true
+	// all nodes decided: true
+}
+
+// ExampleParams_Rounds shows how the protocol derives its round count from
+// the parameters (Algorithm 2 line 2).
+func ExampleParams_Rounds() {
+	p := delphi.Params{S: 0, E: 100_000, Rho0: 2, Delta: 2000, Eps: 2}
+	fmt.Printf("levels l_M = %d\n", p.Levels())
+	fmt.Printf("rounds r_M at n=160: %d\n", p.Rounds(160))
+	// Output:
+	// levels l_M = 10
+	// rounds r_M at n=160: 23
+}

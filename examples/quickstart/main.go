@@ -1,0 +1,52 @@
+// Quickstart: four nodes approximately agree on a measured value.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// Four oracle nodes each hold a slightly different measurement of the same
+// quantity; one of them is allowed to be Byzantine (t = 1). The example
+// runs them live — goroutine per node over HMAC-authenticated channels —
+// and shows that every output lands within ε = 2 of every other and inside
+// the (ρ0-relaxed) range of the inputs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"delphi"
+)
+
+func main() {
+	cfg := delphi.Config{
+		Config: delphi.System{N: 4, F: 1},
+		Params: delphi.Params{
+			S:     0,       // input space lower bound
+			E:     100_000, // input space upper bound
+			Rho0:  2,       // level-0 checkpoint spacing (= minimum validity relaxation)
+			Delta: 256,     // assumed max honest range (see delphi.CalibrateDelta)
+			Eps:   2,       // agreement distance
+		},
+	}
+	inputs := []float64{50_000.8, 50_003.4, 50_001.1, 50_002.9}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := delphi.RunLive(ctx, cfg, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, r := range results {
+		fmt.Printf("node %d: input %.2f -> output %.4f (r_M=%d rounds)\n",
+			i, inputs[i], r.Output, r.Rounds)
+		lo = math.Min(lo, r.Output)
+		hi = math.Max(hi, r.Output)
+	}
+	fmt.Printf("spread %.6f (< ε=%.0f: %v)\n", hi-lo, cfg.Params.Eps, hi-lo < cfg.Params.Eps)
+}

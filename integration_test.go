@@ -1,0 +1,105 @@
+package delphi_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"delphi"
+	"delphi/internal/feeds"
+)
+
+// TestEndToEndOraclePipeline walks the paper's full oracle pipeline through
+// the public API: calibrate Δ from the noise model, take one synthetic
+// multi-exchange price snapshot, run the live DORA oracles, and verify that
+// every certificate attests the same (or an adjacent) ε-multiple within the
+// relaxed honest range.
+func TestEndToEndOraclePipeline(t *testing.T) {
+	cal, err := delphi.CalibrateDelta(delphi.NoisePareto(6, 4.41), 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Delta < cal.MeanRange || cal.Delta > 100*cal.MeanRange {
+		t.Fatalf("implausible calibration: %+v", cal)
+	}
+
+	market, err := feeds.NewMarket(feeds.DefaultConfig(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := market.Tick(0)
+
+	cfg := delphi.Config{
+		Config: delphi.System{N: 10, F: 3},
+		Params: delphi.Params{S: 0, E: 200_000, Rho0: 2, Delta: cal.Delta, Eps: 2},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	certs, err := delphi.RunLiveOracles(ctx, cfg, snap.Quotes, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, q := range snap.Quotes {
+		lo = math.Min(lo, q)
+		hi = math.Max(hi, q)
+	}
+	relax := math.Max(cfg.Params.Rho0, hi-lo) + cfg.Params.Eps
+	values := map[float64]bool{}
+	for i, c := range certs {
+		if c == nil {
+			t.Fatalf("oracle %d: no certificate", i)
+		}
+		if err := delphi.VerifyCertificate(c, cfg.N, cfg.F, 11); err != nil {
+			t.Errorf("oracle %d: %v", i, err)
+		}
+		if c.Value < lo-relax || c.Value > hi+relax {
+			t.Errorf("oracle %d attests %g outside [%g, %g]", i, c.Value, lo-relax, hi+relax)
+		}
+		values[c.Value] = true
+	}
+	if len(values) > 2 {
+		t.Errorf("%d distinct attested values, want <= 2", len(values))
+	}
+}
+
+// TestRunLiveVector checks the multi-dimensional helper used by the drone
+// application: per-coordinate ε-agreement on 2-D points.
+func TestRunLiveVector(t *testing.T) {
+	cfg := delphi.Config{
+		Config: delphi.System{N: 4, F: 1},
+		Params: delphi.Params{S: 0, E: 2000, Rho0: 0.5, Delta: 50, Eps: 0.5},
+	}
+	points := [][]float64{
+		{512.3, 847.9},
+		{513.1, 848.4},
+		{511.8, 847.2},
+		{512.9, 848.8},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	agreed, err := delphi.RunLiveVector(ctx, cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range agreed {
+			if agreed[i] == nil {
+				t.Fatalf("node %d: nil point", i)
+			}
+			lo = math.Min(lo, agreed[i][d])
+			hi = math.Max(hi, agreed[i][d])
+		}
+		if hi-lo >= cfg.Params.Eps {
+			t.Errorf("dimension %d spread %g >= eps", d, hi-lo)
+		}
+	}
+	// Dimension mismatch must be rejected.
+	bad := [][]float64{{1}, {1, 2}, {1}, {1}}
+	if _, err := delphi.RunLiveVector(ctx, cfg, bad); err == nil {
+		t.Error("ragged points accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package aaa_test
+
+import (
+	"math"
+	"testing"
+
+	"delphi/internal/aaa"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+func TestAbrahamConvergence(t *testing.T) {
+	n, f := 7, 2
+	rounds := 10
+	inputs := []float64{100, 110, 120, 130, 140, 150, 160}
+	cfg := aaa.AbrahamConfig{Config: node.Config{N: n, F: f}, Rounds: rounds}
+	procs := make([]node.Process, n)
+	for i, v := range inputs {
+		p, err := aaa.NewAbraham(cfg, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, err := sim.NewRunner(cfg.Config, sim.Local(), 3, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range procs {
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("node %d: no output (liveness); vtime=%v", i, res.Time)
+		}
+		ar := st.Output[len(st.Output)-1].(aaa.AbrahamResult)
+		if ar.Output < 100 || ar.Output > 160 {
+			t.Errorf("node %d output %g outside honest range (convex validity)", i, ar.Output)
+		}
+		lo = math.Min(lo, ar.Output)
+		hi = math.Max(hi, ar.Output)
+	}
+	eps := 60 / math.Pow(2, float64(rounds)) * 2 // range halves per round (x2 slack)
+	if hi-lo > eps {
+		t.Errorf("spread %g > %g after %d rounds", hi-lo, eps, rounds)
+	}
+}
+
+func TestAbrahamWithCrashes(t *testing.T) {
+	n, f := 10, 3
+	cfg := aaa.AbrahamConfig{Config: node.Config{N: n, F: f}, Rounds: 8}
+	procs := make([]node.Process, n)
+	for i := 0; i < n; i++ {
+		if i < f { // crash f nodes
+			continue
+		}
+		p, err := aaa.NewAbraham(cfg, 50+float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, err := sim.NewRunner(cfg.Config, sim.AWS(), 4, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	for i := f; i < n; i++ {
+		if len(res.Stats[i].Output) == 0 {
+			t.Fatalf("node %d: no output despite %d crashes", i, f)
+		}
+	}
+}
+
+func TestDolevConvergence(t *testing.T) {
+	n, f := 6, 1 // 5t+1
+	rounds := 12
+	cfg := aaa.DolevConfig{N: n, F: f, Rounds: rounds}
+	inputs := []float64{0, 10, 20, 30, 40, 50}
+	procs := make([]node.Process, n)
+	for i, v := range inputs {
+		p, err := aaa.NewDolev(cfg, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, err := sim.NewRunner(node.Config{N: n, F: f}, sim.Local(), 5, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range procs {
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("node %d: no output", i)
+		}
+		dr := st.Output[len(st.Output)-1].(aaa.DolevResult)
+		if dr.Output < 0 || dr.Output > 50 {
+			t.Errorf("node %d output %g outside honest range", i, dr.Output)
+		}
+		lo = math.Min(lo, dr.Output)
+		hi = math.Max(hi, dr.Output)
+	}
+	if hi-lo > 50/math.Pow(2, float64(rounds))*4 {
+		t.Errorf("spread %g too large", hi-lo)
+	}
+}
+
+func TestDolevRejectsLowResilience(t *testing.T) {
+	cfg := aaa.DolevConfig{N: 5, F: 1, Rounds: 3}
+	if _, err := aaa.NewDolev(cfg, 1); err == nil {
+		t.Fatal("expected resilience error for n=5, t=1")
+	}
+}

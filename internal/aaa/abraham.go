@@ -1,0 +1,193 @@
+package aaa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delphi/internal/node"
+	"delphi/internal/rbc"
+	"delphi/internal/wire"
+)
+
+// AbrahamConfig parameterises the Abraham et al. baseline.
+type AbrahamConfig struct {
+	// Config supplies n and t (n >= 3t+1).
+	node.Config
+	// Rounds is the number of halving rounds, ceil(log2(δ0/ε)) for target
+	// agreement ε from initial range δ0 (the harness derives it from Δ/ε
+	// for parity with Delphi's parameterisation).
+	Rounds int
+}
+
+// Validate checks the configuration.
+func (c AbrahamConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("aaa: rounds must be >= 1, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// AbrahamResult is the baseline's output.
+type AbrahamResult struct {
+	// Output is the node's final state value.
+	Output float64
+	// Rounds is the number of rounds run.
+	Rounds int
+}
+
+// roundData tracks one round's deliveries and witness reports.
+type roundData struct {
+	values     map[node.ID]float64
+	reports    map[node.ID][]node.ID
+	sentReport bool
+}
+
+// Abraham runs one node of Abraham et al.'s approximate agreement. Each
+// round it reliably broadcasts its state, reports the set of delivered
+// values, waits for n-t witnesses (peers whose reported sets it has fully
+// delivered), and updates its state to the midpoint of the t-trimmed
+// delivered values.
+type Abraham struct {
+	cfg    AbrahamConfig
+	env    node.Env
+	rbcEng *rbc.Engine
+	value  float64
+	round  int
+	rounds map[int]*roundData
+	done   bool
+}
+
+var _ node.Process = (*Abraham)(nil)
+
+// NewAbraham creates a node with the given input.
+func NewAbraham(cfg AbrahamConfig, input float64) (*Abraham, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(input) || math.IsInf(input, 0) {
+		return nil, fmt.Errorf("aaa: input must be finite, got %g", input)
+	}
+	return &Abraham{cfg: cfg, value: input, rounds: make(map[int]*roundData)}, nil
+}
+
+// Init implements node.Process.
+func (a *Abraham) Init(env node.Env) {
+	a.env = env
+	a.rbcEng = rbc.NewEngine(a.cfg.Config, env, a.onDeliver)
+	a.round = 1
+	a.broadcastValue()
+}
+
+func (a *Abraham) rd(r int) *roundData {
+	d, ok := a.rounds[r]
+	if !ok {
+		d = &roundData{values: make(map[node.ID]float64), reports: make(map[node.ID][]node.ID)}
+		a.rounds[r] = d
+	}
+	return d
+}
+
+func (a *Abraham) broadcastValue() {
+	w := wire.NewWriter(8)
+	w.F64(a.value)
+	a.rbcEng.Broadcast(uint32(a.round), w.Bytes())
+}
+
+// Deliver implements node.Process.
+func (a *Abraham) Deliver(from node.ID, m node.Message) {
+	if a.done {
+		// Keep serving RBC echoes/readies so laggards can finish.
+		a.rbcEng.Handle(from, m)
+		return
+	}
+	if a.rbcEng.Handle(from, m) {
+		return
+	}
+	if rep, ok := m.(*Report); ok {
+		r := int(rep.Round)
+		if r < 1 || r > a.cfg.Rounds {
+			return
+		}
+		d := a.rd(r)
+		if _, dup := d.reports[from]; !dup {
+			d.reports[from] = rep.Have
+		}
+		a.progress()
+	}
+}
+
+func (a *Abraham) onDeliver(k rbc.Key, payload []byte) {
+	r := int(k.Tag)
+	if r < 1 || r > a.cfg.Rounds || a.done {
+		return
+	}
+	rd := wire.NewReader(payload)
+	v := rd.F64()
+	if rd.Err() != nil {
+		return
+	}
+	d := a.rd(r)
+	if _, dup := d.values[k.Initiator]; dup {
+		return
+	}
+	d.values[k.Initiator] = v
+	a.progress()
+}
+
+// progress advances the round state machine as far as possible.
+func (a *Abraham) progress() {
+	for !a.done {
+		d := a.rd(a.round)
+		// Report the delivered set once it reaches n-t.
+		if !d.sentReport && len(d.values) >= a.cfg.Quorum() {
+			d.sentReport = true
+			have := make([]node.ID, 0, len(d.values))
+			for id := range d.values {
+				have = append(have, id)
+			}
+			sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
+			a.env.Broadcast(&Report{Round: uint16(a.round), Have: have})
+		}
+		if !d.sentReport {
+			return
+		}
+		// Count witnesses: peers whose reported sets we fully delivered.
+		witnesses := 0
+		for _, have := range d.reports {
+			covered := true
+			for _, id := range have {
+				if _, ok := d.values[id]; !ok {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				witnesses++
+			}
+		}
+		if witnesses < a.cfg.Quorum() {
+			return
+		}
+		// Update: midpoint of the t-trimmed delivered multiset.
+		vals := make([]float64, 0, len(d.values))
+		for _, v := range d.values {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		f := a.cfg.F
+		trimmed := vals[f : len(vals)-f]
+		a.value = (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+		if a.round >= a.cfg.Rounds {
+			a.done = true
+			a.env.Output(AbrahamResult{Output: a.value, Rounds: a.round})
+			a.env.Halt()
+			return
+		}
+		a.round++
+		a.broadcastValue()
+	}
+}

@@ -1,0 +1,122 @@
+package aaa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delphi/internal/node"
+)
+
+// DolevConfig parameterises the Dolev et al. (JACM'86) baseline, which
+// needs n >= 5t+1.
+type DolevConfig struct {
+	// N is the number of nodes.
+	N int
+	// F is the fault bound t, with n >= 5t+1.
+	F int
+	// Rounds is the number of halving rounds.
+	Rounds int
+}
+
+// Validate checks the configuration.
+func (c DolevConfig) Validate() error {
+	if c.N <= 0 || c.F < 0 {
+		return fmt.Errorf("aaa: invalid n=%d f=%d", c.N, c.F)
+	}
+	if c.N < 5*c.F+1 {
+		return fmt.Errorf("aaa: dolev needs n >= 5t+1, got n=%d t=%d", c.N, c.F)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("aaa: rounds must be >= 1, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// DolevResult is the baseline's output.
+type DolevResult struct {
+	// Output is the node's final state value.
+	Output float64
+	// Rounds is the number of rounds run.
+	Rounds int
+}
+
+// Dolev runs one node of the classic 1986 approximate agreement: plain
+// multicast of the state each round, collect n-t values, trim 2t from each
+// side, update to the trimmed midpoint.
+type Dolev struct {
+	cfg   DolevConfig
+	env   node.Env
+	value float64
+	round int
+	vals  map[int]map[node.ID]float64
+	done  bool
+}
+
+var _ node.Process = (*Dolev)(nil)
+
+// NewDolev creates a node with the given input.
+func NewDolev(cfg DolevConfig, input float64) (*Dolev, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(input) || math.IsInf(input, 0) {
+		return nil, fmt.Errorf("aaa: input must be finite, got %g", input)
+	}
+	return &Dolev{cfg: cfg, value: input, vals: make(map[int]map[node.ID]float64)}, nil
+}
+
+// Init implements node.Process.
+func (d *Dolev) Init(env node.Env) {
+	d.env = env
+	d.round = 1
+	env.Broadcast(&Value{Round: 1, V: d.value})
+}
+
+// Deliver implements node.Process.
+func (d *Dolev) Deliver(from node.ID, m node.Message) {
+	msg, ok := m.(*Value)
+	if !ok || d.done {
+		return
+	}
+	r := int(msg.Round)
+	if r < 1 || r > d.cfg.Rounds {
+		return
+	}
+	rv := d.vals[r]
+	if rv == nil {
+		rv = make(map[node.ID]float64)
+		d.vals[r] = rv
+	}
+	if _, dup := rv[from]; dup {
+		return
+	}
+	rv[from] = msg.V
+	d.progress()
+}
+
+func (d *Dolev) progress() {
+	quorum := d.cfg.N - d.cfg.F
+	for !d.done {
+		rv := d.vals[d.round]
+		if len(rv) < quorum {
+			return
+		}
+		vals := make([]float64, 0, len(rv))
+		for _, v := range rv {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		trim := 2 * d.cfg.F
+		trimmed := vals[trim : len(vals)-trim]
+		d.value = (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+		if d.round >= d.cfg.Rounds {
+			d.done = true
+			d.env.Output(DolevResult{Output: d.value, Rounds: d.round})
+			d.env.Halt()
+			return
+		}
+		d.round++
+		d.env.Broadcast(&Value{Round: uint16(d.round), V: d.value})
+	}
+}

@@ -1,0 +1,369 @@
+// Package aba implements signature-free asynchronous binary Byzantine
+// agreement in the style of Mostéfaoui, Moumen and Raynal (JACM'15): rounds
+// of binary-value (BVAL) broadcast with amplification, AUX vote collection,
+// and a common coin to break symmetry. It is the per-slot agreement inside
+// the FIN-style ACS baseline.
+//
+// Many instances run concurrently (one per ACS slot), multiplexed by an
+// instance id. To mirror FIN's coin economy, all instances of one engine
+// share a single coin per round rather than one coin per (instance, round).
+package aba
+
+import (
+	"delphi/internal/coin"
+	"delphi/internal/node"
+	"delphi/internal/wire"
+)
+
+// BVal is the binary-value broadcast message.
+type BVal struct {
+	// Inst is the ABA instance id.
+	Inst uint32
+	// Round is the ABA round (1-based).
+	Round uint16
+	// V is the binary value.
+	V bool
+}
+
+var _ node.Message = (*BVal)(nil)
+
+// Type implements node.Message.
+func (m *BVal) Type() uint8 { return wire.TypeABABVal }
+
+// WireSize implements node.Message.
+func (m *BVal) WireSize() int { return 1 + 4 + 2 + 1 }
+
+// MarshalBinary implements node.Message.
+func (m *BVal) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U32(m.Inst)
+	w.U16(m.Round)
+	w.Bool(m.V)
+	return w.Bytes(), nil
+}
+
+// Aux is the per-round auxiliary vote.
+type Aux struct {
+	// Inst is the ABA instance id.
+	Inst uint32
+	// Round is the ABA round.
+	Round uint16
+	// V is the vote.
+	V bool
+}
+
+var _ node.Message = (*Aux)(nil)
+
+// Type implements node.Message.
+func (m *Aux) Type() uint8 { return wire.TypeABAAux }
+
+// WireSize implements node.Message.
+func (m *Aux) WireSize() int { return 1 + 4 + 2 + 1 }
+
+// MarshalBinary implements node.Message.
+func (m *Aux) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U32(m.Inst)
+	w.U16(m.Round)
+	w.Bool(m.V)
+	return w.Bytes(), nil
+}
+
+// DecodeBVal decodes a BVal body.
+func DecodeBVal(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &BVal{}
+	m.Inst = r.U32()
+	m.Round = r.U16()
+	m.V = r.Bool()
+	return m, r.Err()
+}
+
+// DecodeAux decodes an Aux body.
+func DecodeAux(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Aux{}
+	m.Inst = r.U32()
+	m.Round = r.U16()
+	m.V = r.Bool()
+	return m, r.Err()
+}
+
+// Register installs the package's decoders.
+func Register(reg *wire.Registry) error {
+	if err := reg.Register(wire.TypeABABVal, DecodeBVal); err != nil {
+		return err
+	}
+	return reg.Register(wire.TypeABAAux, DecodeAux)
+}
+
+// maxRounds bounds an instance's rounds; with a perfectly common coin an
+// honest-majority instance decides in expected <= 3 rounds, so hitting the
+// bound indicates a bug rather than bad luck.
+const maxRounds = 64
+
+// roundState is the per-(instance, round) vote state.
+type roundState struct {
+	bvalSent  [2]bool
+	bval      [2]map[node.ID]bool
+	binValues [2]bool
+	auxSent   bool
+	aux       [2]map[node.ID]bool
+	coinValue uint64
+	coinReady bool
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		bval: [2]map[node.ID]bool{make(map[node.ID]bool), make(map[node.ID]bool)},
+		aux:  [2]map[node.ID]bool{make(map[node.ID]bool), make(map[node.ID]bool)},
+	}
+}
+
+// instance is one ABA's state across rounds.
+type instance struct {
+	id      uint32
+	started bool
+	est     bool
+	round   int
+	rounds  []*roundState
+	decided bool
+	value   bool
+}
+
+func (x *instance) rs(r int) *roundState {
+	for len(x.rounds) < r {
+		x.rounds = append(x.rounds, newRoundState())
+	}
+	return x.rounds[r-1]
+}
+
+// Engine multiplexes ABA instances for one node.
+type Engine struct {
+	cfg    node.Config
+	env    node.Env
+	coins  *coin.Source
+	decide func(inst uint32, v bool)
+	insts  map[uint32]*instance
+}
+
+// NewEngine creates an ABA engine. decide fires once per decided instance.
+// The coin source must be dedicated to this engine (it keys coins by
+// round).
+func NewEngine(cfg node.Config, env node.Env, coins *coin.Source, decide func(uint32, bool)) *Engine {
+	return &Engine{cfg: cfg, env: env, coins: coins, decide: decide, insts: make(map[uint32]*instance)}
+}
+
+// CoinID derives the coin identifier for a round (shared across instances,
+// FIN-style).
+func CoinID(round int) uint64 { return 0x0a0b<<32 | uint64(round) }
+
+// OnCoin must be invoked by the owner when the coin source reveals a coin
+// requested by this engine.
+func (e *Engine) OnCoin(coinID, value uint64) {
+	for _, x := range e.insts {
+		if x.started && !x.decided {
+			r := x.round
+			if CoinID(r) == coinID {
+				rs := x.rs(r)
+				rs.coinValue = value
+				rs.coinReady = true
+				e.progress(x)
+			}
+		}
+	}
+}
+
+// Input starts an instance with the node's estimate (idempotent).
+func (e *Engine) Input(inst uint32, v bool) {
+	x := e.inst(inst)
+	if x.started {
+		return
+	}
+	x.started = true
+	x.est = v
+	x.round = 1
+	e.startRound(x)
+}
+
+// Decided reports whether the instance has decided, and its value.
+func (e *Engine) Decided(inst uint32) (bool, bool) {
+	x, ok := e.insts[inst]
+	if !ok {
+		return false, false
+	}
+	return x.decided, x.value
+}
+
+func (e *Engine) inst(id uint32) *instance {
+	x, ok := e.insts[id]
+	if !ok {
+		x = &instance{id: id}
+		e.insts[id] = x
+	}
+	return x
+}
+
+func bi(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (e *Engine) startRound(x *instance) {
+	rs := x.rs(x.round)
+	if !rs.bvalSent[bi(x.est)] {
+		rs.bvalSent[bi(x.est)] = true
+		e.env.Broadcast(&BVal{Inst: x.id, Round: uint16(x.round), V: x.est})
+	}
+	e.progress(x)
+}
+
+// Handle routes an ABA message; returns true if it was one.
+func (e *Engine) Handle(from node.ID, m node.Message) bool {
+	switch msg := m.(type) {
+	case *BVal:
+		e.onBVal(from, msg)
+	case *Aux:
+		e.onAux(from, msg)
+	default:
+		return false
+	}
+	return true
+}
+
+func (e *Engine) onBVal(from node.ID, m *BVal) {
+	x := e.inst(m.Inst)
+	r := int(m.Round)
+	if r < 1 || r > maxRounds {
+		return
+	}
+	rs := x.rs(r)
+	e.zombie(x, r)
+	set := rs.bval[bi(m.V)]
+	if set[from] {
+		return
+	}
+	set[from] = true
+	// Amplify on t+1.
+	if len(set) >= e.cfg.F+1 && !rs.bvalSent[bi(m.V)] {
+		rs.bvalSent[bi(m.V)] = true
+		e.env.Broadcast(&BVal{Inst: x.id, Round: uint16(r), V: m.V})
+	}
+	// Bin-values on 2t+1.
+	if len(set) >= 2*e.cfg.F+1 && !rs.binValues[bi(m.V)] {
+		rs.binValues[bi(m.V)] = true
+	}
+	if x.started && !x.decided {
+		e.progress(x)
+	}
+}
+
+func (e *Engine) onAux(from node.ID, m *Aux) {
+	x := e.inst(m.Inst)
+	r := int(m.Round)
+	if r < 1 || r > maxRounds {
+		return
+	}
+	rs := x.rs(r)
+	e.zombie(x, r)
+	set := rs.aux[bi(m.V)]
+	if set[from] {
+		return
+	}
+	set[from] = true
+	if x.started && !x.decided {
+		e.progress(x)
+	}
+}
+
+// zombie keeps a decided instance feeding later rounds: laggard peers still
+// need BVAL and AUX quorums to reach their own decision, so a decided node
+// echoes its value once per observed round.
+func (e *Engine) zombie(x *instance, r int) {
+	if !x.decided || r <= x.round {
+		return
+	}
+	rs := x.rs(r)
+	if !rs.bvalSent[bi(x.value)] {
+		rs.bvalSent[bi(x.value)] = true
+		e.env.Broadcast(&BVal{Inst: x.id, Round: uint16(r), V: x.value})
+	}
+	if !rs.auxSent {
+		rs.auxSent = true
+		e.env.Broadcast(&Aux{Inst: x.id, Round: uint16(r), V: x.value})
+	}
+}
+
+// progress runs the round state machine for the instance's current round.
+func (e *Engine) progress(x *instance) {
+	for !x.decided && x.round <= maxRounds {
+		rs := x.rs(x.round)
+		// Send AUX once some value entered bin_values.
+		if !rs.auxSent {
+			var w bool
+			if rs.binValues[bi(x.est)] {
+				w = x.est
+			} else if rs.binValues[0] {
+				w = false
+			} else if rs.binValues[1] {
+				w = true
+			} else {
+				return // waiting for bin_values
+			}
+			rs.auxSent = true
+			e.env.Broadcast(&Aux{Inst: x.id, Round: uint16(x.round), V: w})
+		}
+		// Collect n-t AUX votes on values inside bin_values.
+		n0, n1 := 0, 0
+		if rs.binValues[0] {
+			n0 = len(rs.aux[0])
+		}
+		if rs.binValues[1] {
+			n1 = len(rs.aux[1])
+		}
+		if n0+n1 < e.cfg.Quorum() {
+			return
+		}
+		// Need the round's common coin. The coin is shared across
+		// instances, so it may already have been revealed by another
+		// instance's progress — query the source directly.
+		if !rs.coinReady {
+			if v, ok := e.coins.TryValue(CoinID(x.round)); ok {
+				rs.coinValue = v
+				rs.coinReady = true
+			} else {
+				e.coins.Request(CoinID(x.round))
+				return
+			}
+		}
+		coinBit := rs.coinValue&1 == 1
+		switch {
+		case n0 > 0 && n1 > 0:
+			x.est = coinBit
+		case n1 > 0:
+			x.est = true
+			if coinBit {
+				x.decided = true
+				x.value = true
+			}
+		default:
+			x.est = false
+			if !coinBit {
+				x.decided = true
+				x.value = false
+			}
+		}
+		if x.decided {
+			// Help laggards immediately with the next round's votes; the
+			// zombie path keeps feeding later rounds on demand.
+			e.zombie(x, x.round+1)
+			e.decide(x.id, x.value)
+			return
+		}
+		x.round++
+		e.startRound(x)
+		return
+	}
+}

@@ -1,0 +1,180 @@
+// Package acs implements an asynchronous common subset protocol in the
+// FIN/BKR family and uses it as the paper's convex-BA baseline ("FIN"):
+// every node reliably broadcasts its input, one binary agreement per slot
+// decides membership, and the output is the median of the agreed subset —
+// which is guaranteed to lie within the honest input range (strict convex
+// validity, [m, M]).
+//
+// Costs mirror the paper's accounting for FIN: O(ln² + κn³) bits (n Bracha
+// broadcasts plus coin shares), constant expected rounds, and coin-bound
+// computation (pairing-class share verifications), which is what makes it
+// slow on the CPS testbed.
+package acs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delphi/internal/aba"
+	"delphi/internal/coin"
+	"delphi/internal/node"
+	"delphi/internal/rbc"
+	"delphi/internal/wire"
+)
+
+// Config parameterises the ACS.
+type Config struct {
+	// Config supplies n and t.
+	node.Config
+	// CoinSeed seeds the simulated threshold coin; all nodes must agree.
+	CoinSeed uint64
+}
+
+// Result is the ACS output.
+type Result struct {
+	// Output is the median of the agreed subset's values.
+	Output float64
+	// Set lists the slots agreed into the subset.
+	Set []node.ID
+	// Values are the subset's broadcast values, aligned with Set.
+	Values []float64
+}
+
+// Process runs one node of the ACS. It implements node.Process.
+type Process struct {
+	cfg   Config
+	env   node.Env
+	input float64
+
+	rbcEng *rbc.Engine
+	abaEng *aba.Engine
+	coins  *coin.Source
+
+	values    map[node.ID]float64
+	abaInput  map[uint32]bool
+	abaResult map[uint32]bool
+	ones      int
+	finished  bool
+}
+
+var _ node.Process = (*Process)(nil)
+
+// New creates an ACS node with the given real-valued input.
+func New(cfg Config, input float64) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(input) || math.IsInf(input, 0) {
+		return nil, fmt.Errorf("acs: input must be finite, got %g", input)
+	}
+	return &Process{
+		cfg:       cfg,
+		input:     input,
+		values:    make(map[node.ID]float64),
+		abaInput:  make(map[uint32]bool),
+		abaResult: make(map[uint32]bool),
+	}, nil
+}
+
+// Init implements node.Process.
+func (p *Process) Init(env node.Env) {
+	p.env = env
+	p.rbcEng = rbc.NewEngine(p.cfg.Config, env, p.onRBCDeliver)
+	p.coins = coin.NewSource(p.cfg.Config, env, p.cfg.CoinSeed, p.onCoin)
+	p.abaEng = aba.NewEngine(p.cfg.Config, env, p.coins, p.onABADecide)
+	w := wire.NewWriter(8)
+	w.F64(p.input)
+	p.rbcEng.Broadcast(0, w.Bytes())
+}
+
+// Deliver implements node.Process.
+func (p *Process) Deliver(from node.ID, m node.Message) {
+	if p.rbcEng.Handle(from, m) {
+		return
+	}
+	if p.abaEng.Handle(from, m) {
+		return
+	}
+	p.coins.Handle(from, m)
+}
+
+func (p *Process) onCoin(id, value uint64) {
+	p.abaEng.OnCoin(id, value)
+}
+
+func (p *Process) onRBCDeliver(k rbc.Key, payload []byte) {
+	r := wire.NewReader(payload)
+	v := r.F64()
+	if r.Err() != nil {
+		return // malformed broadcast from a Byzantine initiator
+	}
+	if _, ok := p.values[k.Initiator]; ok {
+		return
+	}
+	p.values[k.Initiator] = v
+	slot := uint32(k.Initiator)
+	if !p.abaInput[slot] {
+		p.abaInput[slot] = true
+		p.abaEng.Input(slot, true)
+	}
+	p.tryFinish()
+}
+
+func (p *Process) onABADecide(slot uint32, v bool) {
+	if _, ok := p.abaResult[slot]; ok {
+		return
+	}
+	p.abaResult[slot] = v
+	if v {
+		p.ones++
+	}
+	// Once n-t slots are in, vote 0 for everything not yet started.
+	if p.ones >= p.cfg.Quorum() {
+		for i := 0; i < p.cfg.N; i++ {
+			s := uint32(i)
+			if !p.abaInput[s] {
+				p.abaInput[s] = true
+				p.abaEng.Input(s, false)
+			}
+		}
+	}
+	p.tryFinish()
+}
+
+func (p *Process) tryFinish() {
+	if p.finished || len(p.abaResult) < p.cfg.N {
+		return
+	}
+	// All slots decided; wait for the subset's values (RBC totality).
+	var set []node.ID
+	var vals []float64
+	for i := 0; i < p.cfg.N; i++ {
+		if !p.abaResult[uint32(i)] {
+			continue
+		}
+		v, ok := p.values[node.ID(i)]
+		if !ok {
+			return // value still in flight
+		}
+		set = append(set, node.ID(i))
+		vals = append(vals, v)
+	}
+	p.finished = true
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	p.env.Output(Result{Output: median(sorted), Set: set, Values: vals})
+	p.env.Halt()
+}
+
+// median returns the median of a sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

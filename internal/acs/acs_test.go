@@ -1,0 +1,109 @@
+package acs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/acs"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+func runACS(t *testing.T, n, f int, inputs []float64, seed int64, env sim.Environment) []acs.Result {
+	t.Helper()
+	cfg := acs.Config{Config: node.Config{N: n, F: f}, CoinSeed: 0xfeed}
+	procs := make([]node.Process, n)
+	for i, v := range inputs {
+		if math.IsNaN(v) {
+			continue
+		}
+		p, err := acs.New(cfg, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, err := sim.NewRunner(cfg.Config, env, seed, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	out := make([]acs.Result, 0, n)
+	for i := range procs {
+		if procs[i] == nil {
+			continue
+		}
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("node %d: no ACS output (liveness); vtime=%v events=%d", i, res.Time, res.Events)
+		}
+		ar, ok := st.Output[len(st.Output)-1].(acs.Result)
+		if !ok {
+			t.Fatalf("node %d output type %T", i, st.Output[0])
+		}
+		out = append(out, ar)
+	}
+	return out
+}
+
+func TestACSAgreementAndConvexValidity(t *testing.T) {
+	n, f := 7, 2
+	inputs := []float64{10, 20, 30, 40, 50, 60, 70}
+	outs := runACS(t, n, f, inputs, 1, sim.Local())
+	first := outs[0].Output
+	for i, o := range outs {
+		if o.Output != first {
+			t.Errorf("node %d output %g != %g (exact agreement expected)", i, o.Output, first)
+		}
+		if o.Output < 10 || o.Output > 70 {
+			t.Errorf("node %d output %g outside honest range", i, o.Output)
+		}
+	}
+}
+
+func TestACSWithCrashes(t *testing.T) {
+	n, f := 7, 2
+	inputs := []float64{10, math.NaN(), 30, 40, math.NaN(), 60, 70}
+	outs := runACS(t, n, f, inputs, 2, sim.AWS())
+	if len(outs) != 5 {
+		t.Fatalf("expected 5 honest outputs, got %d", len(outs))
+	}
+	first := outs[0].Output
+	for _, o := range outs {
+		if o.Output != first {
+			t.Errorf("outputs differ: %g vs %g", o.Output, first)
+		}
+		if o.Output < 10 || o.Output > 70 {
+			t.Errorf("output %g outside honest range", o.Output)
+		}
+	}
+}
+
+func TestACSRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		f := (n - 1) / 3
+		inputs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range inputs {
+			inputs[i] = rng.Float64() * 1000
+			lo = math.Min(lo, inputs[i])
+			hi = math.Max(hi, inputs[i])
+		}
+		outs := runACS(t, n, f, inputs, seed, sim.AWS())
+		first := outs[0].Output
+		for _, o := range outs {
+			if o.Output != first {
+				t.Errorf("seed %d: disagreement %g vs %g", seed, o.Output, first)
+			}
+			if o.Output < lo || o.Output > hi {
+				t.Errorf("seed %d: output %g outside [%g,%g]", seed, o.Output, lo, hi)
+			}
+		}
+	}
+}

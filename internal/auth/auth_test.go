@@ -1,0 +1,68 @@
+package auth_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+)
+
+func TestSealOpenProperty(t *testing.T) {
+	const n = 5
+	master := []byte("property-master")
+	as := make([]*auth.Auth, n)
+	for i := range as {
+		a, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as[i] = a
+	}
+	f := func(payload []byte, fromRaw, toRaw uint8) bool {
+		from := int(fromRaw) % n
+		to := int(toRaw) % n
+		sealed := as[from].Seal(node.ID(to), payload)
+		got, err := as[to].Open(node.ID(from), sealed)
+		if err != nil || string(got) != string(payload) {
+			return false
+		}
+		// Any single-byte corruption must be rejected.
+		if len(sealed) > 0 {
+			bad := append([]byte(nil), sealed...)
+			bad[int(fromRaw)%len(bad)] ^= 0x01
+			if _, err := as[to].Open(node.ID(from), bad); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentMastersDontInteroperate(t *testing.T) {
+	a0, _ := auth.New(0, 2, []byte("alpha"))
+	b1, _ := auth.New(1, 2, []byte("beta"))
+	sealed := a0.Seal(1, []byte("x"))
+	if _, err := b1.Open(0, sealed); err == nil {
+		t.Error("cross-master frame accepted")
+	}
+}
+
+func TestShortFrameRejected(t *testing.T) {
+	a, _ := auth.New(0, 2, []byte("m"))
+	if _, err := a.Open(1, []byte{1, 2, 3}); err == nil {
+		t.Error("frame shorter than a MAC accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := auth.New(5, 3, []byte("m")); err == nil {
+		t.Error("self out of range accepted")
+	}
+	if _, err := auth.New(0, 3, nil); err == nil {
+		t.Error("empty master accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	"delphi/internal/core"
+	"delphi/internal/sim"
+)
+
+// OracleDefaultParams exposes the oracle-network Delphi parameterisation
+// for external callers (benchmarks, examples).
+func OracleDefaultParams() core.Params { return oracleParamsBandwidth() }
+
+// AblationSingleLevel compares the paper's §III-B1 single-level strawman
+// (ρ0 = Δ, so l_M = 0) against full multi-level Delphi on identical
+// clustered inputs. The strawman terminates but pays a validity relaxation
+// of order Δ even when δ is small — the motivation for the multi-level
+// design (Fig. 2 vs Fig. 3).
+func AblationSingleLevel(n int, seed int64) (single, multi *RunStats, err error) {
+	f := faults(n)
+	delta := 10.0
+	// The centre sits off the coarse checkpoint grid (multiples of 2000$),
+	// where the strawman's weighted average pulls the output toward the
+	// nearest coarse checkpoints — the Fig. 2 failure mode.
+	inputs := OracleInputs(n, 41500, delta, seed)
+	multiParams := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2}
+	singleParams := core.Params{S: 0, E: 100000, Rho0: 2000, Delta: 2000, Eps: 2}
+
+	single, err = Run(RunSpec{
+		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
+		Inputs: inputs, Delphi: singleParams,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation single-level: %w", err)
+	}
+	multi, err = Run(RunSpec{
+		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
+		Inputs: inputs, Delphi: multiParams,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation multi-level: %w", err)
+	}
+	return single, multi, nil
+}
+
+// EpsRow is one ε setting's measurement in the AblationEps sweep.
+type EpsRow struct {
+	// Name labels the setting ("eps=8", ...).
+	Name string
+	// Eps is the agreement distance.
+	Eps float64
+	// Rounds is the derived r_M.
+	Rounds int
+	// Spread is the measured output spread (must stay < Eps).
+	Spread float64
+	// LatencyMS is the measured latency in milliseconds.
+	LatencyMS float64
+	// MB is the measured traffic in megabytes.
+	MB float64
+}
+
+// AblationEps sweeps the agreement distance ε: each halving of ε adds a
+// round (r_M = ceil(log2(1/ε'))) and must tighten the measured spread.
+func AblationEps(n int, seed int64) ([]*EpsRow, error) {
+	f := faults(n)
+	var rows []*EpsRow
+	for _, eps := range []float64{16, 8, 4, 2, 1} {
+		p := core.Params{S: 0, E: 100000, Rho0: eps, Delta: 2048, Eps: eps}
+		st, err := Run(RunSpec{
+			Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
+			Inputs: OracleInputs(n, 41000, 20, seed), Delphi: p,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation eps=%g: %w", eps, err)
+		}
+		rows = append(rows, &EpsRow{
+			Name:      fmt.Sprintf("eps=%g", eps),
+			Eps:       eps,
+			Rounds:    p.Rounds(n),
+			Spread:    st.Spread,
+			LatencyMS: float64(st.Latency.Milliseconds()),
+			MB:        float64(st.TotalBytes) / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// AblationCompression measures the §II-C delta/bitmap wire encoding: the
+// same Delphi run with compression on and off, comparing bytes on the wire
+// (the paper's log log(1/ε') factor in practice).
+func AblationCompression(n int, seed int64) (compressed, plain *RunStats, err error) {
+	f := faults(n)
+	inputs := OracleInputs(n, 41000, 20, seed)
+	p := oracleParamsBandwidth()
+	compressed, err = Run(RunSpec{
+		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation compression on: %w", err)
+	}
+	plain, err = Run(RunSpec{
+		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p,
+		NoCompression: true,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation compression off: %w", err)
+	}
+	return compressed, plain, nil
+}
+
+// AblationCoinCost runs the FIN baseline on CPS-grade hardware under the
+// real pairing-class coin cost and under a hypothetical hash-cheap coin
+// (the HashRand direction the paper cites), quantifying how much of FIN's
+// CPS latency is threshold-coin compute.
+func AblationCoinCost(n int, seed int64) (pairingCoin, hashCoin *RunStats, err error) {
+	f := faults(n)
+	inputs := OracleInputs(n, 500, 5, seed)
+	p := cpsParams()
+
+	envSlow := sim.CPS()
+	pairingCoin, err = Run(RunSpec{
+		Protocol: ProtoFIN, N: n, F: f, Env: envSlow, Seed: seed, Inputs: inputs, Delphi: p,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation pairing coin: %w", err)
+	}
+	envFast := sim.CPS()
+	envFast.Cost.Pairing = envFast.Cost.Hash // hash-based coin shares
+	hashCoin, err = Run(RunSpec{
+		Protocol: ProtoFIN, N: n, F: f, Env: envFast, Seed: seed, Inputs: inputs, Delphi: p,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ablation hash coin: %w", err)
+	}
+	return pairingCoin, hashCoin, nil
+}

@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"delphi/internal/core"
+	"delphi/internal/sim"
+)
+
+// Scale selects experiment sizing: Quick for CI/bench runs on a laptop,
+// Paper for the full sweeps matching the paper's axes.
+type Scale int
+
+// The available scales.
+const (
+	// Quick caps the node counts so every figure regenerates in seconds.
+	Quick Scale = iota + 1
+	// Medium reaches n=112 (a couple of minutes per figure on one core).
+	Medium
+	// Paper uses the paper's full node counts (tens of minutes on one
+	// core; the Abraham baseline alone is ~40M simulated events at n=160).
+	Paper
+)
+
+// Series is one plotted line: a label plus (x, y) points.
+type Series struct {
+	// Label names the line as in the paper's legend.
+	Label string
+	// X holds the x-axis values (node counts, ratios, ...).
+	X []float64
+	// Y holds the measured values.
+	Y []float64
+}
+
+// Figure is a reproduced figure: labelled series plus a text rendering.
+type Figure struct {
+	// Name identifies the figure ("fig6a", ...).
+	Name string
+	// Title is the paper's caption lead.
+	Title string
+	// Series holds the plotted lines.
+	Series []Series
+	// Text is the formatted table of the series.
+	Text string
+}
+
+func renderFigure(f *Figure, xLabel, yLabel string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "%-26s", xLabel+" \\ "+yLabel)
+	for _, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%12g", x)
+	}
+	b.WriteString("\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-26s", s.Label)
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, "%12s", "-")
+			} else {
+				fmt.Fprintf(&b, "%12.1f", y)
+			}
+		}
+		b.WriteString("\n")
+	}
+	f.Text = b.String()
+}
+
+// oracleParams is the paper's oracle-network Delphi configuration for the
+// runtime plot (Fig. 6a): ρ0 = 10$, Δ = 2000$, ε = 2$.
+func oracleParams() core.Params {
+	return core.Params{S: 0, E: 100000, Rho0: 10, Delta: 2000, Eps: 2}
+}
+
+// oracleParamsBandwidth is Fig. 6b's configuration: ρ0 = ε = 2$.
+func oracleParamsBandwidth() core.Params {
+	return core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2}
+}
+
+// cpsParams is the drone-localisation configuration: Δ = 50m, ρ0 = ε = 0.5m.
+func cpsParams() core.Params {
+	return core.Params{S: 0, E: 2000, Rho0: 0.5, Delta: 50, Eps: 0.5}
+}
+
+// awsNodeCounts returns Fig. 6a/6b's x-axis.
+func awsNodeCounts(scale Scale) []int {
+	switch scale {
+	case Paper:
+		return []int{16, 64, 112, 160}
+	case Medium:
+		return []int{16, 40, 112}
+	default:
+		return []int{16, 40}
+	}
+}
+
+// cpsNodeCounts returns Fig. 6c's x-axis.
+func cpsNodeCounts(scale Scale) []int {
+	switch scale {
+	case Paper:
+		return []int{43, 85, 127, 169}
+	case Medium:
+		return []int{16, 43, 85}
+	default:
+		return []int{16, 43}
+	}
+}
+
+func faults(n int) int { return (n - 1) / 3 }
+
+// Fig6a reproduces "Runtime vs n on AWS": Delphi at δ=20$ and δ=180$, FIN,
+// and Abraham et al. at δ=20$, as milliseconds of virtual latency.
+func Fig6a(scale Scale, seed int64) (*Figure, error) {
+	ns := awsNodeCounts(scale)
+	p := oracleParams()
+	series := []Series{
+		{Label: "Delphi δ=20$"},
+		{Label: "Delphi δ=180$"},
+		{Label: "FIN"},
+		{Label: "Abraham et al. δ=20$"},
+	}
+	for _, n := range ns {
+		f := faults(n)
+		in20 := OracleInputs(n, 41000, 20, seed)
+		in180 := OracleInputs(n, 41000, 180, seed+1)
+		runs := []RunSpec{
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in180, Delphi: p},
+			{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+		}
+		for i, spec := range runs {
+			st, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig6a n=%d %s: %w", n, spec.Protocol, err)
+			}
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, float64(st.Latency)/float64(time.Millisecond))
+		}
+	}
+	fig := &Figure{Name: "fig6a", Title: "Runtime vs n on AWS (ms)", Series: series}
+	renderFigure(fig, "protocol", "n")
+	return fig, nil
+}
+
+// Fig6b reproduces "Network bandwidth vs n on AWS" in megabytes.
+func Fig6b(scale Scale, seed int64) (*Figure, error) {
+	ns := awsNodeCounts(scale)
+	p := oracleParamsBandwidth()
+	series := []Series{
+		{Label: "Delphi δ=20$"},
+		{Label: "Delphi δ=180$"},
+		{Label: "FIN"},
+		{Label: "Abraham et al. δ=20$"},
+	}
+	for _, n := range ns {
+		f := faults(n)
+		in20 := OracleInputs(n, 41000, 20, seed)
+		in180 := OracleInputs(n, 41000, 180, seed+1)
+		runs := []RunSpec{
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in180, Delphi: p},
+			{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
+		}
+		for i, spec := range runs {
+			st, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig6b n=%d %s: %w", n, spec.Protocol, err)
+			}
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, float64(st.TotalBytes)/1e6)
+		}
+	}
+	fig := &Figure{Name: "fig6b", Title: "Bandwidth vs n on AWS (MB)", Series: series}
+	renderFigure(fig, "protocol", "n")
+	return fig, nil
+}
+
+// Fig6c reproduces "Runtime vs n on the embedded (CPS) testbed": Delphi at
+// δ=5m and δ=50m, FIN, Abraham et al. at δ=5m, in milliseconds.
+func Fig6c(scale Scale, seed int64) (*Figure, error) {
+	ns := cpsNodeCounts(scale)
+	p := cpsParams()
+	series := []Series{
+		{Label: "Delphi δ=5m"},
+		{Label: "Delphi δ=50m"},
+		{Label: "FIN"},
+		{Label: "Abraham et al. δ=5m"},
+	}
+	for _, n := range ns {
+		f := faults(n)
+		in5 := OracleInputs(n, 500, 5, seed)
+		in50 := OracleInputs(n, 500, 50, seed+1)
+		runs := []RunSpec{
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
+			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in50, Delphi: p},
+			{Protocol: ProtoFIN, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
+			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
+		}
+		for i, spec := range runs {
+			st, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig6c n=%d %s: %w", n, spec.Protocol, err)
+			}
+			series[i].X = append(series[i].X, float64(n))
+			series[i].Y = append(series[i].Y, float64(st.Latency)/float64(time.Millisecond))
+		}
+	}
+	fig := &Figure{Name: "fig6c", Title: "Runtime vs n on CPS testbed (ms)", Series: series}
+	renderFigure(fig, "protocol", "n")
+	return fig, nil
+}
+
+// Heatmap is the Fig. 7 result: runtime seconds over the
+// (agreement ratio Δ/ε) × (range ratio δ/ρ0) grid. Cells with δ > Δ are
+// NaN (infeasible), as in the paper's blank cells.
+type Heatmap struct {
+	// Env names the testbed.
+	Env string
+	// AgreementRatios are the row labels (Δ/ε).
+	AgreementRatios []float64
+	// RangeRatios are the column labels (δ/ρ0).
+	RangeRatios []float64
+	// Seconds[i][j] is the runtime at row i, column j.
+	Seconds [][]float64
+	// Text is the rendered grid.
+	Text string
+}
+
+// Fig7 reproduces the runtime heatmaps on AWS (n=64) and CPS (n=85).
+func Fig7(scale Scale, seed int64) (awsMap, cpsMap *Heatmap, err error) {
+	awsN, cpsN := 64, 85
+	awsAgr := []float64{2000, 400, 100, 20}
+	awsRng := []float64{1, 4, 20, 90}
+	cpsAgr := []float64{1000, 400, 100, 20}
+	cpsRng := []float64{1, 4, 20, 90}
+	if scale == Quick {
+		awsN, cpsN = 16, 16
+		awsAgr = []float64{400, 20}
+		awsRng = []float64{1, 20}
+		cpsAgr = []float64{400, 20}
+		cpsRng = []float64{1, 20}
+	}
+	awsMap, err = heatmap("aws", sim.AWS(), awsN, 2.0, awsAgr, awsRng, 100000, 41000, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cpsMap, err = heatmap("cps", sim.CPS(), cpsN, 0.5, cpsAgr, cpsRng, 100000, 41000, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return awsMap, cpsMap, nil
+}
+
+func heatmap(name string, env sim.Environment, n int, eps float64, agr, rng []float64, e, center float64, seed int64) (*Heatmap, error) {
+	h := &Heatmap{Env: name, AgreementRatios: agr, RangeRatios: rng}
+	f := faults(n)
+	for _, ar := range agr {
+		row := make([]float64, 0, len(rng))
+		for _, rr := range rng {
+			p := core.Params{S: 0, E: e, Rho0: eps, Delta: ar * eps, Eps: eps}
+			delta := rr * p.Rho0
+			if delta > p.Delta {
+				row = append(row, math.NaN())
+				continue
+			}
+			st, err := Run(RunSpec{
+				Protocol: ProtoDelphi, N: n, F: f, Env: env, Seed: seed,
+				Inputs: OracleInputs(n, center, delta, seed+int64(ar)+int64(rr)),
+				Delphi: p,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s Δ/ε=%g δ/ρ0=%g: %w", name, ar, rr, err)
+			}
+			row = append(row, st.Latency.Seconds())
+		}
+		h.Seconds = append(h.Seconds, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fig7 (%s, n=%d) — runtime seconds; rows Δ/ε, cols δ/ρ0\n%10s", name, n, "")
+	for _, rr := range rng {
+		fmt.Fprintf(&b, "%10g", rr)
+	}
+	b.WriteString("\n")
+	for i, ar := range agr {
+		fmt.Fprintf(&b, "%10g", ar)
+		for _, v := range h.Seconds[i] {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%10s", "-")
+			} else {
+				fmt.Fprintf(&b, "%10.2f", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	h.Text = b.String()
+	return h, nil
+}

@@ -1,0 +1,196 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§VI), each returning structured results and a
+// formatted text block matching the paper's rows/series. The root
+// bench_test.go and cmd/experiments are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"delphi/internal/aaa"
+	"delphi/internal/acs"
+	"delphi/internal/core"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+// Protocol names a protocol under measurement.
+type Protocol string
+
+// The protocols the harness can run.
+const (
+	// ProtoDelphi is this paper's protocol.
+	ProtoDelphi Protocol = "delphi"
+	// ProtoFIN is the FIN-style ACS baseline (convex BA via common subset).
+	ProtoFIN Protocol = "fin"
+	// ProtoAbraham is Abraham et al.'s approximate agreement baseline.
+	ProtoAbraham Protocol = "abraham"
+	// ProtoDolev is Dolev et al.'s n=5t+1 approximate agreement.
+	ProtoDolev Protocol = "dolev"
+)
+
+// RunSpec describes one protocol execution.
+type RunSpec struct {
+	// Protocol selects the protocol.
+	Protocol Protocol
+	// N and F define the system.
+	N, F int
+	// Env is the simulated testbed.
+	Env sim.Environment
+	// Seed drives the simulation.
+	Seed int64
+	// Inputs are the honest measurements (NaN = crashed node).
+	Inputs []float64
+	// Delphi holds Delphi's parameters (used when Protocol == ProtoDelphi).
+	Delphi core.Params
+	// Rounds is the round count for the AAA baselines (derived from the
+	// Delphi parameters when zero: ceil(log2(Δ/ε))).
+	Rounds int
+	// NoCompression disables Delphi's §II-C wire encoding (ablation).
+	NoCompression bool
+}
+
+// RunStats summarises a protocol execution.
+type RunStats struct {
+	// Latency is the slowest honest node's decision time.
+	Latency time.Duration
+	// TotalBytes counts all bytes sent (MACs included).
+	TotalBytes int64
+	// TotalMsgs counts all messages sent.
+	TotalMsgs int
+	// Outputs holds the honest nodes' outputs.
+	Outputs []float64
+	// Spread is max−min over outputs.
+	Spread float64
+	// MeanAbsErr is the mean |output − mean(honest inputs)| (§VI-E).
+	MeanAbsErr float64
+	// SigVerifies and Pairings total the charged crypto work.
+	SigVerifies int
+	Pairings    int
+}
+
+// defaultRounds derives the baselines' halving-round count from Delphi's
+// parameterisation (range Δ down to agreement ε), for parity.
+func (s RunSpec) defaultRounds() int {
+	if s.Rounds > 0 {
+		return s.Rounds
+	}
+	r := int(math.Ceil(math.Log2(s.Delphi.Delta / s.Delphi.Eps)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Run executes the spec in the simulator.
+func Run(spec RunSpec) (*RunStats, error) {
+	cfg := node.Config{N: spec.N, F: spec.F}
+	procs := make([]node.Process, spec.N)
+	for i, v := range spec.Inputs {
+		if math.IsNaN(v) {
+			continue
+		}
+		var (
+			p   node.Process
+			err error
+		)
+		switch spec.Protocol {
+		case ProtoDelphi:
+			p, err = core.New(core.Config{
+				Config:             cfg,
+				Params:             spec.Delphi,
+				DisableCompression: spec.NoCompression,
+			}, v)
+		case ProtoFIN:
+			p, err = acs.New(acs.Config{Config: cfg, CoinSeed: uint64(spec.Seed) + 0xc01}, v)
+		case ProtoAbraham:
+			p, err = aaa.NewAbraham(aaa.AbrahamConfig{Config: cfg, Rounds: spec.defaultRounds()}, v)
+		case ProtoDolev:
+			p, err = aaa.NewDolev(aaa.DolevConfig{N: spec.N, F: spec.F, Rounds: spec.defaultRounds()}, v)
+		default:
+			return nil, fmt.Errorf("bench: unknown protocol %q", spec.Protocol)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: node %d: %w", i, err)
+		}
+		procs[i] = p
+	}
+	runner, err := sim.NewRunner(cfg, spec.Env, spec.Seed, procs, sim.WithMaxTime(4*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	res := runner.Run()
+
+	stats := &RunStats{TotalBytes: res.TotalBytes, TotalMsgs: res.TotalMsgs}
+	var honestSum float64
+	var honestCount int
+	for _, v := range spec.Inputs {
+		if !math.IsNaN(v) {
+			honestSum += v
+			honestCount++
+		}
+	}
+	honestMean := honestSum / float64(honestCount)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range procs {
+		if procs[i] == nil {
+			continue
+		}
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			return nil, fmt.Errorf("bench: %s node %d produced no output (vtime=%v)", spec.Protocol, i, res.Time)
+		}
+		out, err := extractOutput(st.Output[len(st.Output)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bench: node %d: %w", i, err)
+		}
+		stats.Outputs = append(stats.Outputs, out)
+		if st.OutputAt > stats.Latency {
+			stats.Latency = st.OutputAt
+		}
+		lo = math.Min(lo, out)
+		hi = math.Max(hi, out)
+		stats.MeanAbsErr += math.Abs(out - honestMean)
+		stats.SigVerifies += st.Compute.SigVerifies
+		stats.Pairings += st.Compute.Pairings
+	}
+	stats.Spread = hi - lo
+	if len(stats.Outputs) > 0 {
+		stats.MeanAbsErr /= float64(len(stats.Outputs))
+	}
+	return stats, nil
+}
+
+func extractOutput(v any) (float64, error) {
+	switch r := v.(type) {
+	case core.Result:
+		return r.Output, nil
+	case acs.Result:
+		return r.Output, nil
+	case aaa.AbrahamResult:
+		return r.Output, nil
+	case aaa.DolevResult:
+		return r.Output, nil
+	default:
+		return 0, fmt.Errorf("unexpected output type %T", v)
+	}
+}
+
+// OracleInputs generates n price measurements centred on center with exact
+// range delta: the extremes are pinned so δ is controlled, the rest are
+// uniform in between. This matches the paper's "δ = 20$ / 180$" runs.
+func OracleInputs(n int, center, delta float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = center + (rng.Float64()-0.5)*delta
+	}
+	if n >= 2 {
+		out[0] = center - delta/2
+		out[1] = center + delta/2
+	}
+	return out
+}

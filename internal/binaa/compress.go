@@ -1,0 +1,213 @@
+package binaa
+
+import (
+	"math"
+
+	"delphi/internal/node"
+	"delphi/internal/wire"
+)
+
+// This file implements the paper's §II-C communication optimisation: after
+// round 1, a node's per-instance state moves on a dyadic lattice by at most
+// two half-steps, so a round-opening bundle can encode each previously
+// announced instance's new state as one of five symbols (2L/L/C/R/2R) in a
+// packed nibble instead of a full (instance, value) entry — the
+// "VAL/FIFO-broadcast" technique of Abraham et al. the paper adapts. An
+// escape symbol covers transitions outside the lattice (possible only under
+// Byzantine influence), and newly activated instances ride along as full
+// entries. Likewise, a round's ECHO2 votes whose value equals the sender's
+// announced state compress to a bitmap over the sender's announced order.
+
+// Delta symbols for the compressed init bundle.
+const (
+	symC  = 0 // state unchanged
+	symL  = 1 // one half-step left  (−2^−(r−1))
+	sym2L = 2 // two half-steps left
+	symR  = 3 // one half-step right (+2^−(r−1))
+	sym2R = 4 // two half-steps right
+	symX  = 5 // escape: value carried in Escapes
+)
+
+// halfStep is the lattice unit at round r: 2^-(r-1).
+func halfStep(r int) float64 { return math.Pow(2, -float64(r-1)) }
+
+// deltaSymbol classifies the transition old→new at round r; ok is false if
+// it needs the escape path.
+func deltaSymbol(old, new float64, r int) (sym uint8, ok bool) {
+	q := (new - old) / halfStep(r)
+	switch q {
+	case 0:
+		return symC, true
+	case -1:
+		return symL, true
+	case -2:
+		return sym2L, true
+	case 1:
+		return symR, true
+	case 2:
+		return sym2R, true
+	default:
+		return symX, false
+	}
+}
+
+// applySymbol inverts deltaSymbol.
+func applySymbol(old float64, sym uint8, r int) float64 {
+	switch sym {
+	case symL:
+		return old - halfStep(r)
+	case sym2L:
+		return old - 2*halfStep(r)
+	case symR:
+		return old + halfStep(r)
+	case sym2R:
+		return old + 2*halfStep(r)
+	default:
+		return old
+	}
+}
+
+// packNibbles packs 4-bit symbols two per byte.
+func packNibbles(syms []uint8) []byte {
+	out := make([]byte, (len(syms)+1)/2)
+	for i, s := range syms {
+		if i%2 == 0 {
+			out[i/2] = s & 0x0f
+		} else {
+			out[i/2] |= (s & 0x0f) << 4
+		}
+	}
+	return out
+}
+
+// unpackNibbles undoes packNibbles for n symbols.
+func unpackNibbles(b []byte, n int) []uint8 {
+	out := make([]uint8, 0, n)
+	for i := 0; i < n; i++ {
+		v := b[i/2]
+		if i%2 == 1 {
+			v >>= 4
+		}
+		out = append(out, v&0x0f)
+	}
+	return out
+}
+
+// Echo1C is the compressed round-opening bundle (rounds >= 2): symbols for
+// every instance of the sender's previous announcement (in its sorted
+// order), escape values, and full entries for newly announced instances.
+// Like an init bundle, it implicitly casts ECHO1(0) for every instance it
+// does not cover.
+type Echo1C struct {
+	// Round is the round this bundle opens.
+	Round uint16
+	// PrevCount is the length of the sender's previous announcement; the
+	// receiver cross-checks it against its reconstruction.
+	PrevCount uint16
+	// Deltas holds PrevCount packed nibble symbols.
+	Deltas []byte
+	// Escapes carries the values of instances whose symbol is symX, in
+	// announcement order.
+	Escapes []float64
+	// NewVals lists newly announced instances with explicit values.
+	NewVals []IVal
+}
+
+var _ node.Message = (*Echo1C)(nil)
+
+// Type implements node.Message.
+func (m *Echo1C) Type() uint8 { return wire.TypeEcho1C }
+
+// WireSize implements node.Message.
+func (m *Echo1C) WireSize() int {
+	return 1 + 2 + 2 +
+		wire.UVarintSize(uint64(len(m.Deltas))) + len(m.Deltas) +
+		wire.UVarintSize(uint64(len(m.Escapes))) + 8*len(m.Escapes) +
+		valsWireSize(m.NewVals)
+}
+
+// MarshalBinary implements node.Message.
+func (m *Echo1C) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U16(m.Round)
+	w.U16(m.PrevCount)
+	w.BytesLP(m.Deltas)
+	w.UVarint(uint64(len(m.Escapes)))
+	for _, v := range m.Escapes {
+		w.F64(v)
+	}
+	encodeVals(w, m.NewVals)
+	return w.Bytes(), nil
+}
+
+// DecodeEcho1C decodes an Echo1C body.
+func DecodeEcho1C(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Echo1C{}
+	m.Round = r.U16()
+	m.PrevCount = r.U16()
+	m.Deltas = append([]byte(nil), r.BytesLP()...)
+	ne := r.UVarint()
+	if r.Err() == nil && ne <= uint64(r.Remaining())/8 {
+		m.Escapes = make([]float64, 0, ne)
+		for i := uint64(0); i < ne; i++ {
+			m.Escapes = append(m.Escapes, r.F64())
+		}
+	}
+	m.NewVals = decodeVals(r)
+	return m, r.Err()
+}
+
+// Echo2C is the compressed ECHO2 bundle: bit i set means "ECHO2 for the
+// i-th instance of my round-Round announcement, with the value I announced
+// there".
+type Echo2C struct {
+	// Round is the covered round.
+	Round uint16
+	// Bits is the bitmap over the sender's announcement order.
+	Bits []byte
+}
+
+var _ node.Message = (*Echo2C)(nil)
+
+// Type implements node.Message.
+func (m *Echo2C) Type() uint8 { return wire.TypeEcho2C }
+
+// WireSize implements node.Message.
+func (m *Echo2C) WireSize() int {
+	return 1 + 2 + wire.UVarintSize(uint64(len(m.Bits))) + len(m.Bits)
+}
+
+// MarshalBinary implements node.Message.
+func (m *Echo2C) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U16(m.Round)
+	w.BytesLP(m.Bits)
+	return w.Bytes(), nil
+}
+
+// DecodeEcho2C decodes an Echo2C body.
+func DecodeEcho2C(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Echo2C{}
+	m.Round = r.U16()
+	m.Bits = append([]byte(nil), r.BytesLP()...)
+	return m, r.Err()
+}
+
+// setBit marks bit i in a growable bitmap.
+func setBit(bits []byte, i int) []byte {
+	for len(bits) <= i/8 {
+		bits = append(bits, 0)
+	}
+	bits[i/8] |= 1 << (i % 8)
+	return bits
+}
+
+// getBit reads bit i.
+func getBit(bits []byte, i int) bool {
+	if i/8 >= len(bits) {
+		return false
+	}
+	return bits[i/8]&(1<<(i%8)) != 0
+}

@@ -1,0 +1,746 @@
+package binaa
+
+import (
+	"fmt"
+	"sort"
+
+	"delphi/internal/node"
+)
+
+// Config parameterises a BinAA engine.
+type Config struct {
+	// Config supplies n and t.
+	node.Config
+	// Rounds is r_M, the number of BV-broadcast rounds to run. The final
+	// per-instance weights are exact multiples of 2^-Rounds, so honest
+	// weights differ by at most 2^-Rounds (the ε' of Algorithm 2).
+	Rounds int
+	// DisableCompression turns off the §II-C delta/bitmap round encoding
+	// (full (instance, value) entries every round). Kept for the
+	// communication ablation; compression is on by default.
+	DisableCompression bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("binaa: rounds must be >= 1, got %d", c.Rounds)
+	}
+	if c.Rounds > 60 {
+		return fmt.Errorf("binaa: rounds capped at 60 (float64 dyadic precision), got %d", c.Rounds)
+	}
+	return nil
+}
+
+// Engine runs the full set of bundled BinAA instances for one agreement.
+// It is driven through HandleInit/HandleEcho1/HandleEcho2 by an embedding
+// protocol (internal/core's Delphi) or by the standalone Process wrapper.
+type Engine struct {
+	cfg    Config
+	env    node.Env
+	onDone func(weights map[IID]float64)
+
+	round  int // current round, 1-based
+	done   bool
+	inputs map[IID]float64
+	insts  map[IID]*inst
+
+	// Per-round bookkeeping, index r-1; grown on demand. initBundles holds
+	// each sender's (reconstructed) round announcement: instances listed —
+	// with any value, zero included — voted explicitly; everything else
+	// implicitly voted 0.
+	initBundles  []map[node.ID][]IVal
+	initCount    []int
+	zerosSenders []map[node.ID]bool
+	zerosCount   []int
+	sentZeros    []bool
+
+	// Compression state: this node's own per-round announcements in
+	// canonical append order, with an index per round; plus buffered
+	// compressed bundles whose base round has not arrived yet.
+	announced  [][]IVal
+	annIndex   []map[IID]int
+	pendingC   map[node.ID]map[int]*Echo1C
+	pendingE2C map[node.ID]map[int]*Echo2C
+
+	// Staged outgoing echoes for the current step.
+	pendAmp  []IVal
+	pendE2   []IVal
+	pendE2CB map[int][]byte // per round: staged compact ECHO2 bitmap
+	// dirty tracks (instance, round) pairs touched by the current message.
+	dirty map[dirtyKey]bool
+}
+
+type dirtyKey struct {
+	id IID
+	r  int
+}
+
+// NewEngine creates an engine with the node's non-zero inputs. An input of
+// 1 at instance X corresponds to Algorithm 2 line 11; inputs strictly
+// between 0 and 1 are permitted (they arise in tests).
+func NewEngine(cfg Config, inputs map[IID]float64, onDone func(map[IID]float64)) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if onDone == nil {
+		return nil, fmt.Errorf("binaa: onDone callback required")
+	}
+	in := make(map[IID]float64, len(inputs))
+	for id, v := range inputs {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("binaa: input %v=%g outside [0,1]", id, v)
+		}
+		if v != 0 {
+			in[id] = v
+		}
+	}
+	return &Engine{
+		cfg:        cfg,
+		onDone:     onDone,
+		inputs:     in,
+		insts:      make(map[IID]*inst),
+		dirty:      make(map[dirtyKey]bool),
+		pendingC:   make(map[node.ID]map[int]*Echo1C),
+		pendingE2C: make(map[node.ID]map[int]*Echo2C),
+		pendE2CB:   make(map[int][]byte),
+	}, nil
+}
+
+// Done reports whether all rounds have completed.
+func (e *Engine) Done() bool { return e.done }
+
+// Round returns the engine's current round (1-based).
+func (e *Engine) Round() int { return e.round }
+
+// Weights returns the final per-instance weights; valid only once Done.
+// Instances never mentioned by anyone have weight 0 and are omitted.
+func (e *Engine) Weights() map[IID]float64 {
+	out := make(map[IID]float64, len(e.insts))
+	for id, x := range e.insts {
+		if x.state != 0 {
+			out[id] = x.state
+		}
+	}
+	return out
+}
+
+// Start begins round 1. Call exactly once, after the environment is ready.
+func (e *Engine) Start(env node.Env) {
+	e.env = env
+	e.round = 1
+	for id, v := range e.inputs {
+		x := &inst{id: id, state: v, joined: 1}
+		e.insts[id] = x
+	}
+	e.openRound(1)
+	e.flush()
+}
+
+// grow ensures per-round slices cover round r.
+func (e *Engine) grow(r int) {
+	for len(e.initBundles) < r {
+		e.initBundles = append(e.initBundles, make(map[node.ID][]IVal))
+		e.initCount = append(e.initCount, 0)
+		e.zerosSenders = append(e.zerosSenders, make(map[node.ID]bool))
+		e.zerosCount = append(e.zerosCount, 0)
+		e.sentZeros = append(e.sentZeros, false)
+	}
+}
+
+// openRound broadcasts this node's round-opening bundle for round r: a full
+// entry list in round 1 (and always when compression is off), a compressed
+// delta bundle afterwards.
+func (e *Engine) openRound(r int) {
+	e.grow(r)
+	for len(e.announced) < r {
+		e.announced = append(e.announced, nil)
+		e.annIndex = append(e.annIndex, nil)
+	}
+	// Mark per-instance round state (my init vote and self-echo).
+	for _, x := range e.insts {
+		ir := x.round(r)
+		ir.myInit = x.state
+		ir.amped[x.state] = true
+	}
+	// Build this round's announcement in canonical append order: previous
+	// announcement first, newly active instances (sorted) appended.
+	var ann []IVal
+	idx := make(map[IID]int, len(e.insts))
+	if r > 1 && e.announced[r-2] != nil {
+		prevIdx := e.annIndex[r-2]
+		ann = make([]IVal, 0, len(e.insts))
+		for _, p := range e.announced[r-2] {
+			ann = append(ann, IVal{ID: p.ID, Round: uint16(r), V: e.insts[p.ID].state})
+			idx[p.ID] = len(ann) - 1
+		}
+		var fresh []IID
+		for id := range e.insts {
+			if _, ok := prevIdx[id]; !ok {
+				fresh = append(fresh, id)
+			}
+		}
+		sortIIDs(fresh)
+		for _, id := range fresh {
+			ann = append(ann, IVal{ID: id, Round: uint16(r), V: e.insts[id].state})
+			idx[id] = len(ann) - 1
+		}
+	} else {
+		var ids []IID
+		for id := range e.insts {
+			ids = append(ids, id)
+		}
+		sortIIDs(ids)
+		ann = make([]IVal, 0, len(ids))
+		for _, id := range ids {
+			ann = append(ann, IVal{ID: id, Round: uint16(r), V: e.insts[id].state})
+			idx[id] = len(ann) - 1
+		}
+	}
+	e.announced[r-1] = ann
+	e.annIndex[r-1] = idx
+
+	if e.cfg.DisableCompression || r == 1 || e.announced[r-2] == nil {
+		// Full bundle: transmit only non-zero entries (implicit zeros cover
+		// the rest) but remember the full announcement locally. For
+		// canonical ordering across peers, round-1 announcements contain
+		// only this node's non-zero inputs, so the transmitted list and
+		// announcement coincide there.
+		vals := make([]IVal, 0, len(ann))
+		for _, iv := range ann {
+			if iv.V != 0 {
+				vals = append(vals, iv)
+			}
+		}
+		if r == 1 || e.cfg.DisableCompression {
+			// Receivers reconstruct announcements from transmitted entries,
+			// so the announcement must equal the transmitted list.
+			e.announced[r-1] = vals
+			idx = make(map[IID]int, len(vals))
+			for i, iv := range vals {
+				idx[iv.ID] = i
+			}
+			e.annIndex[r-1] = idx
+		}
+		e.env.Broadcast(&Echo1{Round: uint16(r), Init: true, Vals: vals})
+		return
+	}
+
+	// Compressed bundle relative to the previous announcement.
+	prev := e.announced[r-2]
+	syms := make([]uint8, len(prev))
+	var escapes []float64
+	for i, p := range prev {
+		newV := e.insts[p.ID].state
+		sym, ok := deltaSymbol(p.V, newV, r)
+		if !ok {
+			sym = symX
+			escapes = append(escapes, newV)
+		}
+		syms[i] = sym
+	}
+	newVals := ann[len(prev):]
+	e.env.Broadcast(&Echo1C{
+		Round:     uint16(r),
+		PrevCount: uint16(len(prev)),
+		Deltas:    packNibbles(syms),
+		Escapes:   escapes,
+		NewVals:   append([]IVal(nil), newVals...),
+	})
+}
+
+func sortIIDs(ids []IID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Level != ids[j].Level {
+			return ids[i].Level < ids[j].Level
+		}
+		return ids[i].K < ids[j].K
+	})
+}
+
+// validRound bounds rounds accepted from the wire.
+func (e *Engine) validRound(r int) bool { return r >= 1 && r <= e.cfg.Rounds }
+
+// HandleEcho1 processes an Echo1 message.
+func (e *Engine) HandleEcho1(from node.ID, m *Echo1) {
+	if e.done {
+		return
+	}
+	if m.Init {
+		r := int(m.Round)
+		if !e.validRound(r) {
+			return
+		}
+		e.applyInitBundle(from, r, m.Vals)
+	} else {
+		for _, v := range m.Vals {
+			r := int(v.Round)
+			if !e.validRound(r) {
+				continue
+			}
+			e.grow(r)
+			x := e.activate(v.ID)
+			if x.round(r).addEcho1(from, v.V) {
+				e.mark(v.ID, r)
+			}
+		}
+	}
+	e.settle()
+}
+
+// applyInitBundle records a sender's round announcement and applies its
+// explicit and implicit votes. It then drains any buffered compressed
+// bundles that were waiting for this round.
+func (e *Engine) applyInitBundle(from node.ID, r int, vals []IVal) {
+	e.grow(r)
+	if _, dup := e.initBundles[r-1][from]; dup {
+		return // equivocating bundle: first wins
+	}
+	kept := make([]IVal, 0, len(vals))
+	for _, v := range vals {
+		if int(v.Round) == r {
+			kept = append(kept, v)
+		}
+	}
+	e.initBundles[r-1][from] = kept
+	e.initCount[r-1]++
+	mentioned := make(map[IID]bool, len(kept))
+	for _, v := range kept {
+		mentioned[v.ID] = true
+		x := e.activate(v.ID)
+		e.applyInitVote(x, r, from, v.V)
+	}
+	for id, x := range e.insts {
+		if !mentioned[id] {
+			e.applyInitVote(x, r, from, 0)
+		}
+	}
+	e.maybeSendZeros(r)
+	// A compressed bundle for r+1 may have been waiting for this base.
+	if next, ok := e.pendingC[from][r+1]; ok {
+		delete(e.pendingC[from], r+1)
+		e.applyCompressed(from, next)
+	}
+	if ec, ok := e.pendingE2C[from][r]; ok {
+		delete(e.pendingE2C[from], r)
+		e.applyEcho2C(from, ec)
+	}
+}
+
+// HandleEcho1C processes a compressed round-opening bundle.
+func (e *Engine) HandleEcho1C(from node.ID, m *Echo1C) {
+	if e.done {
+		return
+	}
+	r := int(m.Round)
+	if !e.validRound(r) || r < 2 {
+		return
+	}
+	e.grow(r)
+	if _, dup := e.initBundles[r-1][from]; dup {
+		return
+	}
+	if e.initBundles[r-2][from] == nil {
+		// Base round not yet seen: buffer (keep the first only).
+		if e.pendingC[from] == nil {
+			e.pendingC[from] = make(map[int]*Echo1C)
+		}
+		if _, ok := e.pendingC[from][r]; !ok {
+			e.pendingC[from][r] = m
+		}
+		return
+	}
+	e.applyCompressed(from, m)
+	e.settle()
+}
+
+// applyCompressed reconstructs a compressed bundle against the sender's
+// previous announcement and applies it.
+func (e *Engine) applyCompressed(from node.ID, m *Echo1C) {
+	r := int(m.Round)
+	prev := e.initBundles[r-2][from]
+	if len(prev) != int(m.PrevCount) || len(m.Deltas) < (len(prev)+1)/2 {
+		return // malformed relative to our view: drop
+	}
+	syms := unpackNibbles(m.Deltas, len(prev))
+	full := make([]IVal, 0, len(prev)+len(m.NewVals))
+	esc := 0
+	for i, p := range prev {
+		v := 0.0
+		if syms[i] == symX {
+			if esc >= len(m.Escapes) {
+				return // malformed escape list
+			}
+			v = m.Escapes[esc]
+			esc++
+		} else if syms[i] > sym2R {
+			return // unknown symbol
+		} else {
+			v = applySymbol(p.V, syms[i], r)
+		}
+		full = append(full, IVal{ID: p.ID, Round: uint16(r), V: v})
+	}
+	for _, nv := range m.NewVals {
+		nv.Round = uint16(r)
+		full = append(full, nv)
+	}
+	e.applyInitBundle(from, r, full)
+}
+
+// HandleEcho2C processes a compact ECHO2 bitmap.
+func (e *Engine) HandleEcho2C(from node.ID, m *Echo2C) {
+	if e.done {
+		return
+	}
+	r := int(m.Round)
+	if !e.validRound(r) {
+		return
+	}
+	e.grow(r)
+	if e.initBundles[r-1][from] == nil {
+		if e.pendingE2C[from] == nil {
+			e.pendingE2C[from] = make(map[int]*Echo2C)
+		}
+		// Bitmaps are incremental: merge rather than keep-first.
+		if prev, ok := e.pendingE2C[from][r]; ok {
+			merged := append([]byte(nil), prev.Bits...)
+			for len(merged) < len(m.Bits) {
+				merged = append(merged, 0)
+			}
+			for i, b := range m.Bits {
+				merged[i] |= b
+			}
+			prev.Bits = merged
+		} else {
+			e.pendingE2C[from][r] = &Echo2C{Round: m.Round, Bits: append([]byte(nil), m.Bits...)}
+		}
+		return
+	}
+	e.applyEcho2C(from, m)
+	e.settle()
+}
+
+// applyEcho2C resolves bitmap bits against the sender's round announcement.
+func (e *Engine) applyEcho2C(from node.ID, m *Echo2C) {
+	r := int(m.Round)
+	ann := e.initBundles[r-1][from]
+	for i, iv := range ann {
+		if !getBit(m.Bits, i) {
+			continue
+		}
+		x := e.activate(iv.ID)
+		if x.round(r).addEcho2(from, iv.V, true) {
+			e.mark(iv.ID, r)
+		}
+	}
+}
+
+// HandleEcho2 processes an Echo2 message.
+func (e *Engine) HandleEcho2(from node.ID, m *Echo2) {
+	if e.done {
+		return
+	}
+	if m.Zeros {
+		r := int(m.Round)
+		if e.validRound(r) {
+			e.grow(r)
+			if !e.zerosSenders[r-1][from] {
+				e.zerosSenders[r-1][from] = true
+				e.zerosCount[r-1]++
+				// Apply to every instance whose init-slot vote from this
+				// sender was zero; instances whose init vote hasn't arrived
+				// pick the zeros vote up in applyInitVote.
+				for id, x := range e.insts {
+					ir := x.round(r)
+					if ir.initConsumed[from] && !e.initListedNonzero(r, from, id) {
+						if ir.addEcho2(from, 0, false) {
+							e.mark(id, r)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, v := range m.Vals {
+		r := int(v.Round)
+		if !e.validRound(r) {
+			continue
+		}
+		e.grow(r)
+		x := e.activate(v.ID)
+		if x.round(r).addEcho2(from, v.V, true) {
+			e.mark(v.ID, r)
+		}
+	}
+	e.settle()
+}
+
+// initListedNonzero reports whether sender's stored init bundle for round r
+// listed instance id with a non-zero value.
+func (e *Engine) initListedNonzero(r int, from node.ID, id IID) bool {
+	for _, v := range e.initBundles[r-1][from] {
+		if v.ID == id && int(v.Round) == r {
+			return v.V != 0
+		}
+	}
+	return false
+}
+
+// applyInitVote consumes sender's init-slot ECHO1 vote for one instance and
+// round, and applies the sender's pending zeros-bundle ECHO2 if the vote
+// was zero.
+func (e *Engine) applyInitVote(x *inst, r int, from node.ID, v float64) {
+	ir := x.round(r)
+	if ir.initConsumed[from] {
+		return
+	}
+	ir.initConsumed[from] = true
+	changed := ir.addEcho1(from, v)
+	if v == 0 && e.zerosSenders[r-1][from] {
+		if ir.addEcho2(from, 0, false) {
+			changed = true
+		}
+	}
+	if changed {
+		e.mark(x.id, r)
+	}
+}
+
+// activate returns the instance, creating it (with replay of all stored
+// implicit votes) on first mention. Late-activated instances join with
+// state 0 — the value this node's implicit votes have already cast.
+func (e *Engine) activate(id IID) *inst {
+	if x, ok := e.insts[id]; ok {
+		return x
+	}
+	x := &inst{id: id, state: 0, joined: e.round}
+	e.insts[id] = x
+	for r := 1; r <= len(e.initBundles); r++ {
+		for from, vals := range e.initBundles[r-1] {
+			v := 0.0
+			for _, iv := range vals {
+				if iv.ID == id && int(iv.Round) == r {
+					v = iv.V
+					break
+				}
+			}
+			e.applyInitVote(x, r, from, v)
+		}
+		// This node's own implicit behaviour: it echoed 0 in every round it
+		// has opened, so it must not re-amplify 0 there.
+		if r <= e.round {
+			x.round(r).amped[0] = true
+		}
+	}
+	return x
+}
+
+func (e *Engine) mark(id IID, r int) { e.dirty[dirtyKey{id: id, r: r}] = true }
+
+// maybeSendZeros broadcasts the implicit ECHO2(0) bundle for round r once
+// n-t init bundles for r have arrived.
+func (e *Engine) maybeSendZeros(r int) {
+	if !e.sentZeros[r-1] && e.initCount[r-1] >= e.cfg.Quorum() {
+		e.sentZeros[r-1] = true
+		e.env.Broadcast(&Echo2{Round: uint16(r), Zeros: true})
+	}
+}
+
+// settle processes all dirty (instance, round) pairs: amplification, ECHO2
+// emission, decisions, and round advancement; then flushes staged sends.
+func (e *Engine) settle() {
+	quorum := e.cfg.Quorum()
+	for {
+		for len(e.dirty) > 0 {
+			// Drain the dirty set; checks may re-mark entries.
+			keys := make([]dirtyKey, 0, len(e.dirty))
+			for k := range e.dirty {
+				keys = append(keys, k)
+			}
+			// Deterministic processing order.
+			sort.Slice(keys, func(i, j int) bool {
+				a, b := keys[i], keys[j]
+				if a.r != b.r {
+					return a.r < b.r
+				}
+				if a.id.Level != b.id.Level {
+					return a.id.Level < b.id.Level
+				}
+				return a.id.K < b.id.K
+			})
+			e.dirty = make(map[dirtyKey]bool)
+			for _, k := range keys {
+				e.check(e.insts[k.id], k.r, quorum)
+			}
+		}
+		if !e.tryAdvance() {
+			break
+		}
+	}
+	e.flush()
+}
+
+// check runs the per-round state machine for one instance.
+func (e *Engine) check(x *inst, r int, quorum int) {
+	ir := x.round(r)
+	// Amplification: echo any value with t+1 support that we haven't echoed.
+	var ampVals []float64
+	for v, s := range ir.echo1 {
+		if len(s) >= e.cfg.F+1 && !ir.amped[v] {
+			ampVals = append(ampVals, v)
+		}
+	}
+	sort.Float64s(ampVals)
+	for _, v := range ampVals {
+		ir.amped[v] = true
+		e.pendAmp = append(e.pendAmp, IVal{ID: x.id, Round: uint16(r), V: v})
+	}
+	// ECHO2: first value to reach n-t ECHO1s, once per round. Deferred for
+	// rounds we have not opened yet (myInit is unknown until then); the
+	// round-opening path re-marks every instance dirty.
+	if !ir.sentEcho2 && r <= e.round {
+		var e2vals []float64
+		for v, s := range ir.echo1 {
+			if len(s) >= quorum {
+				e2vals = append(e2vals, v)
+			}
+		}
+		if len(e2vals) > 0 {
+			sort.Float64s(e2vals)
+			v := e2vals[0]
+			ir.sentEcho2 = true
+			switch {
+			case v == 0 && e.sentZeros[r-1] && ir.myInit == 0:
+				// Our zeros bundle covers this instance (receivers apply
+				// zeros only where our announced init vote was 0).
+			case !e.cfg.DisableCompression && v == ir.myInit && e.compactIndex(x.id, r) >= 0:
+				// Vote value equals our announced value: one bitmap bit.
+				e.pendE2CB[r] = setBit(e.pendE2CB[r], e.compactIndex(x.id, r))
+			default:
+				e.pendE2 = append(e.pendE2, IVal{ID: x.id, Round: uint16(r), V: v})
+			}
+		}
+	}
+	ir.tryDecide(quorum)
+}
+
+// tryAdvance moves the engine to the next round once the current round has
+// decided at every active instance, and completes after cfg.Rounds rounds.
+// It reports whether it made progress (so settle can re-drain dirty state).
+func (e *Engine) tryAdvance() bool {
+	if e.done {
+		return false
+	}
+	// A round completes only once n-t init bundles and n-t zeros bundles
+	// for it have arrived — these are the implicit votes that decide every
+	// quiet (all-zero) checkpoint — and every active instance has decided.
+	if len(e.initCount) < e.round ||
+		e.initCount[e.round-1] < e.cfg.Quorum() ||
+		e.zerosCount[e.round-1] < e.cfg.Quorum() {
+		return false
+	}
+	for _, x := range e.insts {
+		if !x.decidedRound(e.round) {
+			return false
+		}
+	}
+	// Adopt decisions as next-round states.
+	for _, x := range e.insts {
+		x.state = x.rounds[e.round-1].decision
+	}
+	if e.round >= e.cfg.Rounds {
+		e.done = true
+		e.onDone(e.Weights())
+		return false
+	}
+	e.round++
+	e.openRound(e.round)
+	e.maybeSendZeros(e.round)
+	// Early-arrived votes may already decide the new round; re-check all.
+	for id := range e.insts {
+		e.mark(id, e.round)
+	}
+	return true
+}
+
+// compactIndex returns this instance's position in our round-r announced
+// list, or -1 if it was not announced.
+func (e *Engine) compactIndex(id IID, r int) int {
+	if r > len(e.annIndex) || e.annIndex[r-1] == nil {
+		return -1
+	}
+	if i, ok := e.annIndex[r-1][id]; ok {
+		return i
+	}
+	return -1
+}
+
+// flush broadcasts staged amplification and ECHO2 entries as bundles.
+func (e *Engine) flush() {
+	if len(e.pendAmp) > 0 {
+		vals := e.pendAmp
+		e.pendAmp = nil
+		e.env.Broadcast(&Echo1{Init: false, Vals: vals})
+	}
+	if len(e.pendE2) > 0 {
+		vals := e.pendE2
+		e.pendE2 = nil
+		e.env.Broadcast(&Echo2{Vals: vals})
+	}
+	if len(e.pendE2CB) > 0 {
+		for r, bits := range e.pendE2CB {
+			e.env.Broadcast(&Echo2C{Round: uint16(r), Bits: bits})
+		}
+		e.pendE2CB = make(map[int][]byte)
+	}
+}
+
+// Process wraps an Engine as a standalone node.Process that outputs the
+// final weights map and halts. Used by tests and the quickstart example.
+type Process struct {
+	cfg    Config
+	inputs map[IID]float64
+	eng    *Engine
+	env    node.Env
+}
+
+var _ node.Process = (*Process)(nil)
+
+// NewProcess returns a standalone BinAA process.
+func NewProcess(cfg Config, inputs map[IID]float64) (*Process, error) {
+	p := &Process{cfg: cfg, inputs: inputs}
+	eng, err := NewEngine(cfg, inputs, p.finish)
+	if err != nil {
+		return nil, err
+	}
+	p.eng = eng
+	return p, nil
+}
+
+func (p *Process) finish(weights map[IID]float64) {
+	p.env.Output(weights)
+	p.env.Halt()
+}
+
+// Init implements node.Process.
+func (p *Process) Init(env node.Env) {
+	p.env = env
+	p.eng.Start(env)
+}
+
+// Deliver implements node.Process.
+func (p *Process) Deliver(from node.ID, m node.Message) {
+	switch msg := m.(type) {
+	case *Echo1:
+		p.eng.HandleEcho1(from, msg)
+	case *Echo2:
+		p.eng.HandleEcho2(from, msg)
+	case *Echo1C:
+		p.eng.HandleEcho1C(from, msg)
+	case *Echo2C:
+		p.eng.HandleEcho2C(from, msg)
+	}
+}

@@ -1,0 +1,179 @@
+// Package binaa implements the paper's BinAA building block (Algorithm 1):
+// binary approximate agreement over a *set* of instances — one per
+// (level, checkpoint) pair — with the §III-C bundling optimisation. Each
+// round of each instance is a weak Binary-Value broadcast (crusader
+// agreement): ECHO1 with Bracha-style amplification, then ECHO2, then a
+// decision by one of two conditions:
+//
+//	(1) two values each supported by n-t ECHO1s  → next state (b1+b2)/2
+//	(2) one value supported by n-t ECHO2s        → next state b
+//
+// Bundling: a node's per-round "init" bundle lists only its non-zero state
+// values; every unlisted instance implicitly receives ECHO1(0). Likewise a
+// per-round "zeros" ECHO2 bundle casts ECHO2(0) for every instance the
+// sender has not explicitly ECHO2'd. All-zero checkpoints therefore cost
+// O(1) bits per node per round, giving the paper's O(n²·min(δ/ρ0, n))
+// per-round communication.
+//
+// Late activation ("wire-consistent joining"): a node that first hears of an
+// instance after it opened round r joins with state 0 — exactly the value
+// its implicit votes already cast — and participates explicitly from the
+// current round onward, while still amplifying ECHO1 values for older rounds
+// to preserve liveness for slower peers. See DESIGN.md §5 for the analysis
+// of this choice.
+package binaa
+
+import (
+	"fmt"
+	"sort"
+
+	"delphi/internal/node"
+)
+
+// IID identifies one BinAA instance: checkpoint K at a level.
+type IID struct {
+	// Level is the Delphi level (0 for standalone BinAA uses).
+	Level uint8
+	// K is the checkpoint index: the checkpoint value is K*ρ_level.
+	K int32
+}
+
+// String implements fmt.Stringer.
+func (id IID) String() string { return fmt.Sprintf("L%d/K%d", id.Level, id.K) }
+
+// instRound holds one instance's vote state for one round.
+type instRound struct {
+	// echo1 maps value → the set of nodes that ECHO1'd it (explicitly or
+	// implicitly). A node may legitimately echo several values
+	// (own state + amplified values).
+	echo1 map[float64]map[node.ID]bool
+	// initConsumed marks senders whose init-slot vote (explicit listing or
+	// implicit zero) has been applied, so replays don't double-count.
+	initConsumed map[node.ID]bool
+	// amped records the values this node has itself echoed for this round.
+	amped map[float64]bool
+	// echo2 maps value → set of nodes whose ECHO2 counted for it.
+	echo2 map[float64]map[node.ID]bool
+	// echo2From marks senders whose ECHO2 vote (explicit or zeros-bundle)
+	// has been consumed, and whether it was explicit (explicit overrides a
+	// previously applied implicit zero, modelling message reordering).
+	echo2From map[node.ID]bool
+	// echo2Explicit marks senders whose consumed ECHO2 was explicit.
+	echo2Explicit map[node.ID]bool
+	// sentEcho2 records that this node cast its ECHO2 for this round
+	// (explicitly or via its zeros bundle).
+	sentEcho2 bool
+	// myInit is the value this node's init bundle cast for this round
+	// (0 for implicit votes). The zeros bundle only covers instances whose
+	// init vote was 0, so explicit ECHO2(0) may be skipped only then.
+	myInit float64
+	// decided / decision hold the round's outcome once reached.
+	decided  bool
+	decision float64
+}
+
+func newInstRound() *instRound {
+	return &instRound{
+		echo1:         make(map[float64]map[node.ID]bool),
+		initConsumed:  make(map[node.ID]bool),
+		amped:         make(map[float64]bool),
+		echo2:         make(map[float64]map[node.ID]bool),
+		echo2From:     make(map[node.ID]bool),
+		echo2Explicit: make(map[node.ID]bool),
+	}
+}
+
+// addEcho1 records an ECHO1 vote; returns true if it was new.
+func (ir *instRound) addEcho1(from node.ID, v float64) bool {
+	s := ir.echo1[v]
+	if s == nil {
+		s = make(map[node.ID]bool)
+		ir.echo1[v] = s
+	}
+	if s[from] {
+		return false
+	}
+	s[from] = true
+	return true
+}
+
+// addEcho2 records an ECHO2 vote subject to the once-per-sender rule;
+// explicit votes override a previously applied implicit zero (reordering).
+// Returns true if the tally changed.
+func (ir *instRound) addEcho2(from node.ID, v float64, explicit bool) bool {
+	if ir.echo2From[from] {
+		if !explicit || ir.echo2Explicit[from] {
+			return false // duplicate or second explicit: ignore
+		}
+		// Explicit overriding implicit zero: move the vote.
+		if s := ir.echo2[0]; s != nil {
+			delete(s, from)
+		}
+	}
+	ir.echo2From[from] = true
+	if explicit {
+		ir.echo2Explicit[from] = true
+	}
+	s := ir.echo2[v]
+	if s == nil {
+		s = make(map[node.ID]bool)
+		ir.echo2[v] = s
+	}
+	s[from] = true
+	return true
+}
+
+// tryDecide evaluates the two termination conditions. quorum is n-t.
+func (ir *instRound) tryDecide(quorum int) bool {
+	if ir.decided {
+		return false
+	}
+	// Condition (2): one value with n-t ECHO2s.
+	for v, s := range ir.echo2 {
+		if len(s) >= quorum {
+			ir.decided = true
+			ir.decision = v
+			return true
+		}
+	}
+	// Condition (1): two values with n-t ECHO1s each.
+	var qualifying []float64
+	for v, s := range ir.echo1 {
+		if len(s) >= quorum {
+			qualifying = append(qualifying, v)
+		}
+	}
+	if len(qualifying) >= 2 {
+		sort.Float64s(qualifying)
+		lo, hi := qualifying[0], qualifying[len(qualifying)-1]
+		ir.decided = true
+		ir.decision = (lo + hi) / 2
+		return true
+	}
+	return false
+}
+
+// inst is the per-instance state across rounds.
+type inst struct {
+	id IID
+	// state is this node's current-round state value.
+	state float64
+	// joined is the round at which this node began explicit participation
+	// (1 for instances in the node's own input set; the activation round
+	// for late-activated instances, which join with state 0).
+	joined int
+	// rounds[r-1] is the vote state of round r. Grown on demand.
+	rounds []*instRound
+}
+
+func (x *inst) round(r int) *instRound {
+	for len(x.rounds) < r {
+		x.rounds = append(x.rounds, newInstRound())
+	}
+	return x.rounds[r-1]
+}
+
+// decidedThrough reports whether round r has decided.
+func (x *inst) decidedRound(r int) bool {
+	return len(x.rounds) >= r && x.rounds[r-1].decided
+}

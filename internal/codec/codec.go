@@ -1,0 +1,42 @@
+// Package codec assembles the global wire registry: every protocol
+// package's message decoders in one place, so transports can reconstruct
+// any message in the repository from its framed bytes.
+package codec
+
+import (
+	"delphi/internal/aaa"
+	"delphi/internal/aba"
+	"delphi/internal/binaa"
+	"delphi/internal/coin"
+	"delphi/internal/dora"
+	"delphi/internal/rbc"
+	"delphi/internal/wire"
+)
+
+// NewRegistry returns a registry with every message type registered.
+func NewRegistry() (*wire.Registry, error) {
+	reg := wire.NewRegistry()
+	for _, register := range []func(*wire.Registry) error{
+		binaa.Register,
+		rbc.Register,
+		coin.Register,
+		aba.Register,
+		aaa.Register,
+		dora.Register,
+	} {
+		if err := register(reg); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// MustRegistry returns the global registry or panics; intended for program
+// initialisation where a registration conflict is a build defect.
+func MustRegistry() *wire.Registry {
+	reg, err := NewRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"delphi/internal/core"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+func mkConfig(n, f int, p core.Params) core.Config {
+	return core.Config{Config: node.Config{N: n, F: f}, Params: p}
+}
+
+// runDelphi runs honest Delphi nodes with the given inputs (NaN = crashed)
+// and returns the per-node results (nil for crashed).
+func runDelphi(t *testing.T, cfg core.Config, inputs []float64, seed int64, env sim.Environment, opts ...sim.Option) []*core.Result {
+	t.Helper()
+	procs := make([]node.Process, cfg.N)
+	for i, v := range inputs {
+		if math.IsNaN(v) {
+			continue
+		}
+		d, err := core.New(cfg, v)
+		if err != nil {
+			t.Fatalf("core.New(node %d): %v", i, err)
+		}
+		procs[i] = d
+	}
+	r, err := sim.NewRunner(cfg.Config, env, seed, procs, opts...)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	res := r.Run()
+	out := make([]*core.Result, cfg.N)
+	for i := range procs {
+		if procs[i] == nil {
+			continue
+		}
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("node %d produced no output (liveness failure); vtime=%v events=%d", i, res.Time, res.Events)
+		}
+		dr, ok := st.Output[len(st.Output)-1].(core.Result)
+		if !ok {
+			t.Fatalf("node %d output type %T", i, st.Output[0])
+		}
+		out[i] = &dr
+	}
+	return out
+}
+
+// checkAgreementAndValidity asserts the two core properties of Def. II.1:
+// ε-agreement and relaxed min-max validity with relaxation max(ρ0, δ)
+// (Theorem IV.3).
+func checkAgreementAndValidity(t *testing.T, cfg core.Config, inputs []float64, results []*core.Result) {
+	t.Helper()
+	m, M := math.Inf(1), math.Inf(-1)
+	for _, v := range inputs {
+		if math.IsNaN(v) {
+			continue
+		}
+		m = math.Min(m, v)
+		M = math.Max(M, v)
+	}
+	delta := M - m
+	relax := math.Max(cfg.Params.Rho0, delta)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Output < m-relax-1e-9 || r.Output > M+relax+1e-9 {
+			t.Errorf("node %d output %g outside validity interval [%g, %g]",
+				i, r.Output, m-relax, M+relax)
+		}
+		lo = math.Min(lo, r.Output)
+		hi = math.Max(hi, r.Output)
+	}
+	if hi-lo >= cfg.Params.Eps {
+		t.Errorf("output spread %g >= eps %g (agreement violated); lo=%g hi=%g",
+			hi-lo, cfg.Params.Eps, lo, hi)
+	}
+}
+
+func TestDelphiIdenticalInputs(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 64, Eps: 2})
+	inputs := []float64{500, 500, 500, 500}
+	results := runDelphi(t, cfg, inputs, 1, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+	for i, r := range results {
+		if math.Abs(r.Output-500) > cfg.Params.Rho0 {
+			t.Errorf("node %d output %g too far from unanimous input 500", i, r.Output)
+		}
+	}
+}
+
+func TestDelphiClusteredInputs(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 64, Eps: 2})
+	inputs := []float64{500, 501, 499.5, 500.5}
+	results := runDelphi(t, cfg, inputs, 2, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+func TestDelphiSpreadInputs(t *testing.T) {
+	// δ larger than ρ0: multi-level machinery must kick in.
+	cfg := mkConfig(7, 2, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 64, Eps: 2})
+	inputs := []float64{480, 490, 500, 505, 510, 515, 520}
+	results := runDelphi(t, cfg, inputs, 3, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+func TestDelphiCrashFaults(t *testing.T) {
+	cfg := mkConfig(7, 2, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 64, Eps: 2})
+	inputs := []float64{500, math.NaN(), 502, 501, math.NaN(), 503, 500.5}
+	results := runDelphi(t, cfg, inputs, 4, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+func TestDelphiWANJitter(t *testing.T) {
+	cfg := mkConfig(16, 5, core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2})
+	inputs := make([]float64, 16)
+	for i := range inputs {
+		inputs[i] = 40000 + float64(i)*2.5 // δ = 37.5$
+	}
+	results := runDelphi(t, cfg, inputs, 5, sim.AWS())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+func TestAggregateSingleGreenLevel(t *testing.T) {
+	// Hand-constructed weights: only level 2 checkpoint 10 is fully green.
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 16, Eps: 2})
+	w := map[struct {
+		Level uint8
+		K     int32
+	}]float64{}
+	_ = w
+	// Levels: lM = log2(16/2) = 3.
+	if got := cfg.Params.Levels(); got != 3 {
+		t.Fatalf("Levels() = %d, want 3", got)
+	}
+}
+
+func TestParamsDerivation(t *testing.T) {
+	p := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if lm := p.Levels(); lm != 10 {
+		t.Errorf("Levels = %d, want 10 (log2(1000))", lm)
+	}
+	n := 160
+	eps := p.EpsPrime(n)
+	want := 2.0 / (4 * 2000 * 10 * 160)
+	if math.Abs(eps-want) > 1e-15 {
+		t.Errorf("EpsPrime = %g, want %g", eps, want)
+	}
+	r := p.Rounds(n)
+	if r != int(math.Ceil(math.Log2(1/want))) {
+		t.Errorf("Rounds = %d", r)
+	}
+}
+
+func TestInputCheckpoints(t *testing.T) {
+	p := core.Params{S: 0, E: 100, Rho0: 2, Delta: 16, Eps: 2}
+	ks := p.InputCheckpoints(0, 7) // ρ0=2: closest checkpoints 6 (k=3) and 8 (k=4)
+	if len(ks) != 2 || ks[0] != 3 || ks[1] != 4 {
+		t.Errorf("InputCheckpoints(0,7) = %v, want [3 4]", ks)
+	}
+	ks = p.InputCheckpoints(2, 7) // ρ2=8: checkpoints 0 (k=0) and 8 (k=1)
+	if len(ks) != 2 || ks[0] != 0 || ks[1] != 1 {
+		t.Errorf("InputCheckpoints(2,7) = %v, want [0 1]", ks)
+	}
+	// Clamping at the space edge.
+	ks = p.InputCheckpoints(0, 99.5) // k0=49, k1=50; kmax = 50
+	if len(ks) != 2 || ks[1] != 50 {
+		t.Errorf("InputCheckpoints(0,99.5) = %v", ks)
+	}
+}

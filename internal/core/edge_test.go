@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"delphi/internal/core"
+	"delphi/internal/sim"
+)
+
+// TestInputsAtSpaceBoundaries runs Delphi with inputs pinned to the edges
+// of [s, e], where checkpoint clamping matters.
+func TestInputsAtSpaceBoundaries(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 32, Eps: 2})
+	for _, edge := range []float64{0, 1000} {
+		inputs := []float64{edge, edge, edge, edge}
+		results := runDelphi(t, cfg, inputs, 11, sim.Local())
+		for i, r := range results {
+			if math.Abs(r.Output-edge) > cfg.Params.Rho0+1e-9 {
+				t.Errorf("edge %g: node %d output %g", edge, i, r.Output)
+			}
+		}
+	}
+}
+
+// TestNegativeInputSpace exercises s < 0 (checkpoint indices go negative).
+func TestNegativeInputSpace(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: -500, E: 500, Rho0: 2, Delta: 32, Eps: 2})
+	inputs := []float64{-123.2, -122.4, -124.1, -123.9}
+	results := runDelphi(t, cfg, inputs, 12, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+// TestDeltaEqualsRho0 is the degenerate single-level configuration
+// (l_M = 0): the protocol must still satisfy its contract.
+func TestDeltaEqualsRho0(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 8, Delta: 8, Eps: 2})
+	if lm := cfg.Params.Levels(); lm != 0 {
+		t.Fatalf("Levels = %d, want 0", lm)
+	}
+	inputs := []float64{500, 501, 502, 503}
+	results := runDelphi(t, cfg, inputs, 13, sim.Local())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+// TestFractionalSeparator uses a non-integer ρ0 (the CPS config uses 0.5m).
+func TestFractionalSeparator(t *testing.T) {
+	cfg := mkConfig(7, 2, core.Params{S: 0, E: 2000, Rho0: 0.5, Delta: 50, Eps: 0.5})
+	inputs := []float64{500.1, 500.4, 499.8, 500.9, 500.2, 499.9, 500.6}
+	results := runDelphi(t, cfg, inputs, 14, sim.CPS())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+// TestTwoClusters places honest inputs in two groups δ apart, the regime
+// where intermediate levels drive agreement (Fig. 3's interesting case).
+func TestTwoClusters(t *testing.T) {
+	cfg := mkConfig(10, 3, core.Params{S: 0, E: 100000, Rho0: 2, Delta: 512, Eps: 2})
+	inputs := make([]float64, 10)
+	for i := range inputs {
+		if i < 5 {
+			inputs[i] = 50000 + float64(i)
+		} else {
+			inputs[i] = 50200 + float64(i)
+		}
+	}
+	results := runDelphi(t, cfg, inputs, 15, sim.AWS())
+	checkAgreementAndValidity(t, cfg, inputs, results)
+}
+
+// TestDeliveryAfterHalt ensures late messages to a halted node are benign.
+func TestDeliveryAfterHalt(t *testing.T) {
+	cfg := mkConfig(4, 1, core.Params{S: 0, E: 1000, Rho0: 2, Delta: 16, Eps: 2})
+	d, err := core.New(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver garbage without Init having completed rounds: must not panic.
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on stray delivery: %v", r)
+		}
+	}()
+	d.Deliver(1, nil)
+}

@@ -1,0 +1,151 @@
+package dora_test
+
+import (
+	"math"
+	"testing"
+
+	"delphi/internal/core"
+	"delphi/internal/dora"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+	"delphi/internal/smr"
+)
+
+func delphiCfg(n, f int) core.Config {
+	return core.Config{
+		Config: node.Config{N: n, F: f},
+		Params: core.Params{S: 0, E: 100000, Rho0: 2, Delta: 256, Eps: 2},
+	}
+}
+
+func TestDoraCertificates(t *testing.T) {
+	cfg := delphiCfg(7, 2)
+	keys := dora.GenKeyrings(cfg.N, 0xabc)
+	inputs := []float64{50000, 50004, 50001, 50007, 50003, 49998, 50002}
+	procs := make([]node.Process, cfg.N)
+	for i, v := range inputs {
+		p, err := dora.New(cfg, keys[i], v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, err := sim.NewRunner(cfg.Config, sim.AWS(), 1, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+
+	values := make(map[float64]bool)
+	for i := 0; i < cfg.N; i++ {
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("node %d: no certificate (liveness)", i)
+		}
+		cert, ok := st.Output[len(st.Output)-1].(dora.Certificate)
+		if !ok {
+			t.Fatalf("node %d output type %T", i, st.Output[0])
+		}
+		if err := cert.Verify(keys[0].Pubs, cfg.F); err != nil {
+			t.Errorf("node %d: certificate invalid: %v", i, err)
+		}
+		if math.Mod(cert.Value, cfg.Params.Eps) != 0 {
+			t.Errorf("node %d: value %g not a multiple of eps", i, cert.Value)
+		}
+		// Validity with the extra ε rounding relaxation (§V).
+		lo, hi := 49998.0, 50007.0
+		delta := hi - lo
+		relax := math.Max(cfg.Params.Rho0, delta) + cfg.Params.Eps
+		if cert.Value < lo-relax || cert.Value > hi+relax {
+			t.Errorf("node %d: value %g outside relaxed range", i, cert.Value)
+		}
+		values[cert.Value] = true
+	}
+	// "Delphi can produce at most two possible outputs" (Table III note).
+	if len(values) > 2 {
+		t.Errorf("%d distinct certified values, want <= 2: %v", len(values), values)
+	}
+}
+
+func TestCertificateVerifyRejectsTampering(t *testing.T) {
+	cfg := delphiCfg(4, 1)
+	keys := dora.GenKeyrings(cfg.N, 7)
+	procs := make([]node.Process, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p, err := dora.New(cfg, keys[i], 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, _ := sim.NewRunner(cfg.Config, sim.Local(), 2, procs)
+	res := r.Run()
+	cert := res.Stats[0].Output[len(res.Stats[0].Output)-1].(dora.Certificate)
+	if err := cert.Verify(keys[0].Pubs, cfg.F); err != nil {
+		t.Fatalf("genuine certificate rejected: %v", err)
+	}
+	tampered := cert
+	tampered.Value += 2
+	if err := tampered.Verify(keys[0].Pubs, cfg.F); err == nil {
+		t.Error("tampered certificate accepted")
+	}
+	short := cert
+	short.Signers = short.Signers[:1]
+	short.Sigs = short.Sigs[:1]
+	if err := short.Verify(keys[0].Pubs, cfg.F); err == nil {
+		t.Error("undersigned certificate accepted")
+	}
+}
+
+func TestChakkaBaseline(t *testing.T) {
+	n, f := 7, 2
+	cfg := node.Config{N: n, F: f}
+	keys := dora.GenKeyrings(n, 9)
+	inputs := []float64{10, 20, 30, 40, 50, 60, 70}
+	procs := make([]node.Process, n)
+	for i, v := range inputs {
+		p, err := dora.NewChakka(cfg, keys[i], v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	r, _ := sim.NewRunner(cfg, sim.AWS(), 3, procs)
+	res := r.Run()
+
+	ch := &smr.Channel{}
+	for i := 0; i < n; i++ {
+		st := res.Stats[i]
+		if len(st.Output) == 0 {
+			t.Fatalf("oracle %d: no submission", i)
+		}
+		sub := st.Output[len(st.Output)-1].(dora.ChakkaSubmission)
+		if len(sub.Values) < cfg.Quorum() {
+			t.Errorf("oracle %d: submission has %d values", i, len(sub.Values))
+		}
+		ch.Submit(smr.Submission{From: node.ID(i), At: st.OutputAt, VerifyCost: sub.VerifyCost})
+		med := sub.Median()
+		if med < 10 || med > 70 {
+			t.Errorf("oracle %d: median %g outside honest range", i, med)
+		}
+	}
+	if first, ok := ch.First(); !ok {
+		t.Fatal("no SMR submission")
+	} else if first.At <= 0 {
+		t.Error("first submission has no timestamp")
+	}
+}
+
+func TestRoundToEps(t *testing.T) {
+	cases := []struct{ v, eps, want float64 }{
+		{50001.3, 2, 50002},
+		{50000.9, 2, 50000},
+		{-3.4, 0.5, -3.5},
+		{7, 2, 8}, // banker's? math.Round rounds half away from zero: 3.5→4
+	}
+	for _, c := range cases {
+		if got := dora.RoundToEps(c.v, c.eps); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RoundToEps(%g, %g) = %g, want %g", c.v, c.eps, got, c.want)
+		}
+	}
+}

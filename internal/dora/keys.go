@@ -1,0 +1,60 @@
+// Package dora implements the paper's Distributed Oracle Agreement layer
+// (§V): after Delphi's approximate agreement, nodes round their outputs to
+// the nearest multiple of ε, sign the rounded value with ed25519, and
+// aggregate t+1 signatures on one value into a succinct certificate for the
+// SMR channel. At most two adjacent rounded values can circulate, at least
+// one of which gathers t+1 honest signatures, and no third value can.
+//
+// The package also provides the Chakka et al. (DORA, ICDCS'23) baseline:
+// sign the raw input, collect n-t signed values, submit the list to the SMR
+// channel, and take the median of the first list — used for the Table III
+// comparison.
+package dora
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"delphi/internal/node"
+)
+
+// Keyring holds one node's signing key and everyone's verification keys.
+// The paper assumes a PKI for the oracle layer (signatures appear only in
+// DORA, not in Delphi itself).
+type Keyring struct {
+	// Self is this node's id.
+	Self node.ID
+	// Priv is this node's signing key.
+	Priv ed25519.PrivateKey
+	// Pubs are all nodes' verification keys, indexed by id.
+	Pubs []ed25519.PublicKey
+}
+
+// GenKeyrings deterministically derives a keyring per node from a system
+// seed (standing in for the PKI's key-distribution ceremony).
+func GenKeyrings(n int, seed uint64) []Keyring {
+	pubs := make([]ed25519.PublicKey, n)
+	privs := make([]ed25519.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[0:], seed)
+		binary.LittleEndian.PutUint64(buf[8:], uint64(i))
+		h := sha256.Sum256(buf[:])
+		privs[i] = ed25519.NewKeyFromSeed(h[:])
+		pubs[i] = privs[i].Public().(ed25519.PublicKey)
+	}
+	out := make([]Keyring, n)
+	for i := 0; i < n; i++ {
+		out[i] = Keyring{Self: node.ID(i), Priv: privs[i], Pubs: pubs}
+	}
+	return out
+}
+
+// signedMessage is the canonical byte encoding of a signed value.
+func signedMessage(v float64) []byte {
+	msg := make([]byte, 0, 23)
+	msg = append(msg, "delphi-dora-v1:"...)
+	return binary.LittleEndian.AppendUint64(msg, math.Float64bits(v))
+}

@@ -1,0 +1,99 @@
+package evt_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/dist"
+	"delphi/internal/evt"
+)
+
+func TestCalibrateThinTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cal, err := evt.Calibrate(dist.Normal{Mu: 0, Sigma: 10}, 64, 20, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.ThinTailed {
+		t.Errorf("normal ranges should be Gumbel (thin-tailed); KS gumbel=%g frechet=%g",
+			cal.KSGumbel, cal.KSFrechet)
+	}
+	if cal.Delta <= cal.MeanRange {
+		t.Errorf("Delta %g should exceed mean range %g", cal.Delta, cal.MeanRange)
+	}
+	// Empirical check: in fresh trials, ranges exceed Delta (far) less often
+	// than the nominal 2^-20; with 2000 trials expect zero exceedances.
+	ranges := evt.RangeSamples(dist.Normal{Mu: 0, Sigma: 10}, 64, 2000, rng)
+	exceed := 0
+	for _, r := range ranges {
+		if r > cal.Delta {
+			exceed++
+		}
+	}
+	if exceed > 0 {
+		t.Errorf("%d/2000 fresh ranges exceeded Delta=%g", exceed, cal.Delta)
+	}
+}
+
+func TestCalibrateFatTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := dist.Pareto{Xm: 10, Alpha: 3}
+	cal, err := evt.Calibrate(base, 64, 10, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.ThinTailed {
+		t.Errorf("pareto ranges should be Fréchet (fat-tailed); KS gumbel=%g frechet=%g",
+			cal.KSGumbel, cal.KSFrechet)
+	}
+}
+
+// TestDeltaGrowsLogarithmically verifies the paper's Δ = O(λ log n) claim
+// for thin tails: doubling n adds roughly a constant, while doubling λ far
+// less than doubles Δ.
+func TestDeltaGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := dist.Gamma{Shape: 30, Scale: 0.18} // the paper's CPS error model
+	var deltas []float64
+	for _, n := range []int{16, 64, 256} {
+		cal, err := evt.Calibrate(base, n, 30, 2000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, cal.Delta)
+	}
+	// Growth between successive 4x n steps should be sub-linear in n:
+	// ratio well under 4 (logarithmic growth gives ratios near 1).
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] > 2*deltas[i-1] {
+			t.Errorf("Delta grew too fast for thin tails: %v", deltas)
+		}
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	d1 := evt.ThinTailDelta(1, 100, 30)
+	d2 := evt.ThinTailDelta(1, 100, 60)
+	if !(d2 > d1) || d2 > 3*d1 {
+		t.Errorf("thin-tail lambda scaling suspicious: λ30→%g λ60→%g", d1, d2)
+	}
+	f1 := evt.FatTailDelta(1, 4, 100, 8)
+	f2 := evt.FatTailDelta(1, 4, 100, 16)
+	if math.Abs(f2/f1-4) > 1e-9 { // 2^(8/4) = 4x per 8 extra bits at α=4
+		t.Errorf("fat-tail lambda scaling: %g / %g", f2, f1)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := evt.Calibrate(dist.Normal{Sigma: 1}, 1, 20, 1000, rng); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := evt.Calibrate(dist.Normal{Sigma: 1}, 10, 0, 1000, rng); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := evt.Calibrate(dist.Normal{Sigma: 1}, 10, 20, 10, rng); err == nil {
+		t.Error("too few trials should fail")
+	}
+}

@@ -1,0 +1,268 @@
+// Package rbc implements Bracha's reliable broadcast as a multi-instance
+// engine. It is the substrate the baseline protocols build on: FIN-style
+// ACS reliably broadcasts every node's input, and Abraham et al.'s
+// approximate agreement reliably broadcasts every node's per-round state.
+//
+// Instances are keyed by (initiator, tag); a node may initiate many
+// broadcasts with distinct tags. Properties: validity (an honest
+// initiator's payload is delivered), agreement (no two honest nodes deliver
+// different payloads for the same instance), and totality (if one honest
+// node delivers, all do). Cost: O(n²) messages of O(l) bits per instance.
+package rbc
+
+import (
+	"fmt"
+
+	"delphi/internal/node"
+	"delphi/internal/wire"
+)
+
+// Key identifies one broadcast instance.
+type Key struct {
+	// Initiator is the broadcasting node.
+	Initiator node.ID
+	// Tag disambiguates multiple broadcasts by the same initiator
+	// (e.g. the round number).
+	Tag uint32
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("rbc(%d/%d)", k.Initiator, k.Tag) }
+
+// Init is the initiator's proposal message.
+type Init struct {
+	// Tag is the instance tag (the initiator is the authenticated sender).
+	Tag uint32
+	// Payload is the broadcast content.
+	Payload []byte
+}
+
+var _ node.Message = (*Init)(nil)
+
+// Type implements node.Message.
+func (m *Init) Type() uint8 { return wire.TypeRBCInit }
+
+// WireSize implements node.Message.
+func (m *Init) WireSize() int {
+	return 1 + 4 + wire.UVarintSize(uint64(len(m.Payload))) + len(m.Payload)
+}
+
+// MarshalBinary implements node.Message.
+func (m *Init) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U32(m.Tag)
+	w.BytesLP(m.Payload)
+	return w.Bytes(), nil
+}
+
+// Echo is the second-phase echo carrying the payload.
+type Echo struct {
+	// Initiator identifies the instance together with Tag.
+	Initiator node.ID
+	// Tag is the instance tag.
+	Tag uint32
+	// Payload is the echoed content.
+	Payload []byte
+}
+
+var _ node.Message = (*Echo)(nil)
+
+// Type implements node.Message.
+func (m *Echo) Type() uint8 { return wire.TypeRBCEcho }
+
+// WireSize implements node.Message.
+func (m *Echo) WireSize() int {
+	return 1 + 4 + 4 + wire.UVarintSize(uint64(len(m.Payload))) + len(m.Payload)
+}
+
+// MarshalBinary implements node.Message.
+func (m *Echo) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U32(uint32(m.Initiator))
+	w.U32(m.Tag)
+	w.BytesLP(m.Payload)
+	return w.Bytes(), nil
+}
+
+// Ready is the third-phase commitment carrying the payload (so delivery
+// works even if the INIT never arrived).
+type Ready struct {
+	// Initiator identifies the instance together with Tag.
+	Initiator node.ID
+	// Tag is the instance tag.
+	Tag uint32
+	// Payload is the committed content.
+	Payload []byte
+}
+
+var _ node.Message = (*Ready)(nil)
+
+// Type implements node.Message.
+func (m *Ready) Type() uint8 { return wire.TypeRBCReady }
+
+// WireSize implements node.Message.
+func (m *Ready) WireSize() int {
+	return 1 + 4 + 4 + wire.UVarintSize(uint64(len(m.Payload))) + len(m.Payload)
+}
+
+// MarshalBinary implements node.Message.
+func (m *Ready) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(m.WireSize())
+	w.U32(uint32(m.Initiator))
+	w.U32(m.Tag)
+	w.BytesLP(m.Payload)
+	return w.Bytes(), nil
+}
+
+// DecodeInit decodes an Init body.
+func DecodeInit(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Init{}
+	m.Tag = r.U32()
+	m.Payload = append([]byte(nil), r.BytesLP()...)
+	return m, r.Err()
+}
+
+// DecodeEcho decodes an Echo body.
+func DecodeEcho(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Echo{}
+	m.Initiator = node.ID(r.U32())
+	m.Tag = r.U32()
+	m.Payload = append([]byte(nil), r.BytesLP()...)
+	return m, r.Err()
+}
+
+// DecodeReady decodes a Ready body.
+func DecodeReady(body []byte) (node.Message, error) {
+	r := wire.NewReader(body)
+	m := &Ready{}
+	m.Initiator = node.ID(r.U32())
+	m.Tag = r.U32()
+	m.Payload = append([]byte(nil), r.BytesLP()...)
+	return m, r.Err()
+}
+
+// Register installs the package's decoders.
+func Register(reg *wire.Registry) error {
+	if err := reg.Register(wire.TypeRBCInit, DecodeInit); err != nil {
+		return err
+	}
+	if err := reg.Register(wire.TypeRBCEcho, DecodeEcho); err != nil {
+		return err
+	}
+	return reg.Register(wire.TypeRBCReady, DecodeReady)
+}
+
+// instance is the per-broadcast state machine.
+type instance struct {
+	echoed    bool
+	readied   bool
+	delivered bool
+	// echoes and readies count votes per distinct payload (keyed by string
+	// conversion of the payload bytes).
+	echoes  map[string]map[node.ID]bool
+	readies map[string]map[node.ID]bool
+}
+
+// Engine runs all RBC instances for one node. Embed it in a protocol and
+// route Init/Echo/Ready messages to Handle.
+type Engine struct {
+	cfg     node.Config
+	env     node.Env
+	deliver func(Key, []byte)
+	insts   map[Key]*instance
+}
+
+// NewEngine creates an engine; deliver is invoked exactly once per
+// delivered instance.
+func NewEngine(cfg node.Config, env node.Env, deliver func(Key, []byte)) *Engine {
+	return &Engine{cfg: cfg, env: env, deliver: deliver, insts: make(map[Key]*instance)}
+}
+
+func (e *Engine) inst(k Key) *instance {
+	x, ok := e.insts[k]
+	if !ok {
+		x = &instance{
+			echoes:  make(map[string]map[node.ID]bool),
+			readies: make(map[string]map[node.ID]bool),
+		}
+		e.insts[k] = x
+	}
+	return x
+}
+
+// Broadcast initiates a reliable broadcast of payload under tag.
+func (e *Engine) Broadcast(tag uint32, payload []byte) {
+	e.env.Broadcast(&Init{Tag: tag, Payload: payload})
+}
+
+// Handle routes an RBC message; it returns true if the message was an RBC
+// message (handled), false otherwise.
+func (e *Engine) Handle(from node.ID, m node.Message) bool {
+	switch msg := m.(type) {
+	case *Init:
+		e.onInit(from, msg)
+	case *Echo:
+		e.onEcho(from, msg)
+	case *Ready:
+		e.onReady(from, msg)
+	default:
+		return false
+	}
+	return true
+}
+
+func (e *Engine) onInit(from node.ID, m *Init) {
+	k := Key{Initiator: from, Tag: m.Tag}
+	x := e.inst(k)
+	if x.echoed {
+		return
+	}
+	x.echoed = true
+	e.env.Broadcast(&Echo{Initiator: from, Tag: m.Tag, Payload: m.Payload})
+}
+
+func (e *Engine) onEcho(from node.ID, m *Echo) {
+	k := Key{Initiator: m.Initiator, Tag: m.Tag}
+	x := e.inst(k)
+	p := string(m.Payload)
+	s := x.echoes[p]
+	if s == nil {
+		s = make(map[node.ID]bool)
+		x.echoes[p] = s
+	}
+	if s[from] {
+		return
+	}
+	s[from] = true
+	if len(s) >= e.cfg.Quorum() && !x.readied {
+		x.readied = true
+		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
+	}
+}
+
+func (e *Engine) onReady(from node.ID, m *Ready) {
+	k := Key{Initiator: m.Initiator, Tag: m.Tag}
+	x := e.inst(k)
+	p := string(m.Payload)
+	s := x.readies[p]
+	if s == nil {
+		s = make(map[node.ID]bool)
+		x.readies[p] = s
+	}
+	if s[from] {
+		return
+	}
+	s[from] = true
+	// Amplify on t+1 READYs.
+	if len(s) >= e.cfg.F+1 && !x.readied {
+		x.readied = true
+		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
+	}
+	// Deliver on 2t+1 READYs.
+	if len(s) >= 2*e.cfg.F+1 && !x.delivered {
+		x.delivered = true
+		e.deliver(k, m.Payload)
+	}
+}

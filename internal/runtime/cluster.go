@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"delphi/internal/node"
+	"delphi/internal/wire"
+)
+
+// ClusterResult collects each node's outputs from a live in-process run.
+type ClusterResult struct {
+	// Outputs holds every Output call per node.
+	Outputs [][]any
+	// Errs holds per-node driver errors (nil entries for clean exits).
+	Errs []error
+}
+
+// Final returns node i's last output, or nil if it produced none.
+func (r *ClusterResult) Final(i int) any {
+	if len(r.Outputs[i]) == 0 {
+		return nil
+	}
+	return r.Outputs[i][len(r.Outputs[i])-1]
+}
+
+// RunCluster runs the processes as goroutine-per-node over an authenticated
+// in-memory hub until every (non-nil) process halts or the context expires.
+// nil entries model crashed nodes.
+func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, master []byte, reg *wire.Registry) (*ClusterResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(procs) != cfg.N {
+		return nil, fmt.Errorf("runtime: %d processes for n=%d", len(procs), cfg.N)
+	}
+	hub := NewHub(cfg.N)
+	res := &ClusterResult{
+		Outputs: make([][]any, cfg.N),
+		Errs:    make([]error, cfg.N),
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, p := range procs {
+		if p == nil {
+			continue
+		}
+		d, err := AuthedDriver(cfg, node.ID(i), p, hub, master, reg)
+		if err != nil {
+			return nil, err
+		}
+		idx := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for v := range d.Outputs() {
+				mu.Lock()
+				res.Outputs[idx] = append(res.Outputs[idx], v)
+				mu.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := d.Run(ctx); err != nil && ctx.Err() == nil {
+				mu.Lock()
+				res.Errs[idx] = err
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	_ = hub // inboxes stay open; drivers exited on halt
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+	"delphi/internal/wire"
+)
+
+// Driver runs one protocol process over a transport. Messages are decoded,
+// authenticated, and delivered sequentially; outputs are published on a
+// channel; Halt stops the loop.
+type Driver struct {
+	cfg   node.Config
+	id    node.ID
+	proc  node.Process
+	tr    Transport
+	reg   *wire.Registry
+	auth  *auth.Auth
+	out   chan any
+	halt  chan struct{}
+	once  sync.Once
+	errMu sync.Mutex
+	err   error
+}
+
+// NewDriver wires a process to a transport. The auth verifies inbound
+// frames (transports seal outbound ones with the same keys).
+func NewDriver(cfg node.Config, id node.ID, proc node.Process, tr Transport, a *auth.Auth, reg *wire.Registry) *Driver {
+	return &Driver{
+		cfg:  cfg,
+		id:   id,
+		proc: proc,
+		tr:   tr,
+		reg:  reg,
+		auth: a,
+		out:  make(chan any, 16),
+		halt: make(chan struct{}),
+	}
+}
+
+// Outputs returns the channel of protocol outputs. It is closed when the
+// process halts or the driver stops.
+func (d *Driver) Outputs() <-chan any { return d.out }
+
+// driverEnv implements node.Env over the transport.
+type driverEnv struct {
+	d *Driver
+}
+
+func (e *driverEnv) Self() node.ID { return e.d.id }
+func (e *driverEnv) N() int        { return e.d.cfg.N }
+func (e *driverEnv) F() int        { return e.d.cfg.F }
+
+func (e *driverEnv) Send(to node.ID, m node.Message) {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		e.d.setErr(fmt.Errorf("encode: %w", err))
+		return
+	}
+	if err := e.d.tr.Send(to, frame); err != nil {
+		// Transport failures to individual peers are expected under faults;
+		// the protocol layer tolerates them as (permanent) delays.
+		log.Printf("node %v: send to %v: %v", e.d.id, to, err)
+	}
+}
+
+func (e *driverEnv) Broadcast(m node.Message) {
+	for i := 0; i < e.d.cfg.N; i++ {
+		e.Send(node.ID(i), m)
+	}
+}
+
+func (e *driverEnv) Output(v any) {
+	select {
+	case e.d.out <- v:
+	default:
+		// Never block a protocol step on a slow consumer.
+		go func() { e.d.out <- v }()
+	}
+}
+
+func (e *driverEnv) Halt() {
+	e.d.once.Do(func() { close(e.d.halt) })
+}
+
+func (e *driverEnv) ChargeCompute(node.ComputeCost) {
+	// Real CPU time is spent for real on the live runtime.
+}
+
+func (d *Driver) setErr(err error) {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the first internal error the driver hit, if any.
+func (d *Driver) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err
+}
+
+// Run initialises the process and delivers messages until the process
+// halts, the context is cancelled, or the transport closes.
+func (d *Driver) Run(ctx context.Context) error {
+	env := &driverEnv{d: d}
+	d.proc.Init(env)
+	defer close(d.out)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-d.halt:
+			return nil
+		case f, ok := <-d.tr.Recv():
+			if !ok {
+				return nil
+			}
+			opened, err := d.auth.Open(f.From, f.Data)
+			if err != nil {
+				log.Printf("node %v: drop unauthentic frame from %v: %v", d.id, f.From, err)
+				continue
+			}
+			m, err := d.reg.DecodeFramed(opened)
+			if err != nil {
+				log.Printf("node %v: drop undecodable frame from %v: %v", d.id, f.From, err)
+				continue
+			}
+			d.proc.Deliver(f.From, m)
+			// Halt may have been requested during the delivery.
+			select {
+			case <-d.halt:
+				return nil
+			default:
+			}
+		}
+	}
+}
+
+// AuthedDriver builds the driver plus authenticated hub endpoint for an
+// in-process cluster node.
+func AuthedDriver(cfg node.Config, id node.ID, proc node.Process, hub *Hub, master []byte, reg *wire.Registry) (*Driver, error) {
+	a, err := auth.New(id, cfg.N, master)
+	if err != nil {
+		return nil, err
+	}
+	tr := hub.Endpoint(id, a)
+	return NewDriver(cfg, id, proc, tr, a, reg), nil
+}

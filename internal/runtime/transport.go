@@ -1,0 +1,244 @@
+// Package runtime drives node.Process state machines over real transports:
+// an in-memory hub for in-process clusters (the examples) and TCP with
+// length-prefixed, HMAC-authenticated frames for multi-process deployments
+// (cmd/delphi). The same protocol code that runs under the simulator runs
+// here unchanged.
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+)
+
+// Frame is a received, already-authenticated message frame.
+type Frame struct {
+	// From is the verified sender.
+	From node.ID
+	// Data is the type byte plus message body.
+	Data []byte
+}
+
+// Transport moves sealed frames between nodes.
+type Transport interface {
+	// Send transmits an authenticated frame to a peer.
+	Send(to node.ID, frame []byte) error
+	// Recv returns the channel of inbound frames.
+	Recv() <-chan Frame
+	// Close shuts the transport down and unblocks Recv.
+	Close() error
+}
+
+// Hub is an in-memory message switch connecting n in-process nodes.
+type Hub struct {
+	n      int
+	mu     sync.Mutex
+	inbox  []chan Frame
+	closed bool
+}
+
+// NewHub creates a hub for n nodes.
+func NewHub(n int) *Hub {
+	h := &Hub{n: n, inbox: make([]chan Frame, n)}
+	for i := range h.inbox {
+		// Generously buffered: protocol bursts are n messages per step and
+		// a blocked sender would deadlock two nodes delivering to each
+		// other. Overflow falls back to a goroutine (never drops).
+		h.inbox[i] = make(chan Frame, 4*n*n+64)
+	}
+	return h
+}
+
+// Endpoint returns node id's transport attached to the hub. Authentication
+// uses the supplied pairwise MACs.
+func (h *Hub) Endpoint(id node.ID, a *auth.Auth) Transport {
+	return &hubTransport{hub: h, id: id, auth: a}
+}
+
+type hubTransport struct {
+	hub  *Hub
+	id   node.ID
+	auth *auth.Auth
+}
+
+var _ Transport = (*hubTransport)(nil)
+
+func (t *hubTransport) Send(to node.ID, frame []byte) error {
+	if int(to) < 0 || int(to) >= t.hub.n {
+		return fmt.Errorf("runtime: bad destination %v", to)
+	}
+	t.hub.mu.Lock()
+	closed := t.hub.closed
+	t.hub.mu.Unlock()
+	if closed {
+		return nil
+	}
+	sealed := t.auth.Seal(to, frame)
+	f := Frame{From: t.id, Data: sealed}
+	select {
+	case t.hub.inbox[to] <- f:
+	default:
+		// Inbox full: hand off without blocking the protocol step.
+		go func() {
+			defer func() { _ = recover() }() // closed channel during shutdown
+			t.hub.inbox[to] <- f
+		}()
+	}
+	return nil
+}
+
+func (t *hubTransport) Recv() <-chan Frame { return t.hub.inbox[t.id] }
+
+func (t *hubTransport) Close() error {
+	t.hub.mu.Lock()
+	defer t.hub.mu.Unlock()
+	if !t.hub.closed {
+		t.hub.closed = true
+		for _, ch := range t.hub.inbox {
+			close(ch)
+		}
+	}
+	return nil
+}
+
+// tcpTransport connects a node to its peers over TCP with 4-byte
+// length-prefixed frames: [sender u32][len u32][sealed frame].
+type tcpTransport struct {
+	self  node.ID
+	addrs []string
+	ln    net.Listener
+	auth  *auth.Auth
+
+	mu       sync.Mutex
+	conns    map[node.ID]net.Conn
+	accepted []net.Conn
+	in       chan Frame
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*tcpTransport)(nil)
+
+// NewTCP creates a TCP transport for node self; addrs lists every node's
+// listen address (index = node id). The listener must already be bound to
+// addrs[self].
+func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transport {
+	t := &tcpTransport{
+		self:  self,
+		addrs: addrs,
+		ln:    ln,
+		auth:  a,
+		conns: make(map[node.ID]net.Conn),
+		in:    make(chan Frame, 1024),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.accepted = append(t.accepted, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := node.ID(binary.LittleEndian.Uint32(hdr[0:]))
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > 64<<20 {
+			return // oversized frame: drop the connection
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		select {
+		case t.in <- Frame{From: from, Data: buf}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) conn(to node.ID) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *tcpTransport) Send(to node.ID, frame []byte) error {
+	if int(to) < 0 || int(to) >= len(t.addrs) {
+		return fmt.Errorf("runtime: bad destination %v", to)
+	}
+	sealed := t.auth.Seal(to, frame)
+	c, err := t.conn(to)
+	if err != nil {
+		return fmt.Errorf("runtime: dial %v: %w", to, err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.self))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(sealed)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := c.Write(hdr[:]); err != nil {
+		delete(t.conns, to)
+		return err
+	}
+	if _, err := c.Write(sealed); err != nil {
+		delete(t.conns, to)
+		return err
+	}
+	return nil
+}
+
+func (t *tcpTransport) Recv() <-chan Frame { return t.in }
+
+func (t *tcpTransport) Close() error {
+	select {
+	case <-t.done:
+		return nil
+	default:
+	}
+	close(t.done)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	for _, c := range t.accepted {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"delphi/internal/node"
+)
+
+// Region indexes the eight AWS regions used in the paper's geo-distributed
+// testbed (§VI-C): N. Virginia, Ohio, N. California, Oregon, Canada,
+// Ireland, Singapore, Tokyo.
+type Region int
+
+// The eight regions of the paper's AWS deployment.
+const (
+	Virginia Region = iota
+	Ohio
+	California
+	Oregon
+	Canada
+	Ireland
+	Singapore
+	Tokyo
+	numRegions
+)
+
+// awsOneWayMillis approximates one-way inter-region latencies in
+// milliseconds (half of typical public inter-region RTT measurements).
+var awsOneWayMillis = [numRegions][numRegions]float64{
+	//           VA    OH    CA    OR    CAN   IRE   SGP   TYO
+	Virginia:   {0.4, 5.5, 31.0, 33.0, 7.0, 33.5, 108.0, 74.0},
+	Ohio:       {5.5, 0.4, 25.0, 28.0, 13.0, 38.5, 103.0, 70.0},
+	California: {31.0, 25.0, 0.4, 11.0, 39.0, 65.0, 85.0, 53.0},
+	Oregon:     {33.0, 28.0, 11.0, 0.4, 30.0, 62.0, 81.0, 48.0},
+	Canada:     {7.0, 13.0, 39.0, 30.0, 0.4, 38.0, 108.0, 72.0},
+	Ireland:    {33.5, 38.5, 65.0, 62.0, 38.0, 0.4, 87.0, 103.0},
+	Singapore:  {108.0, 103.0, 85.0, 81.0, 108.0, 87.0, 0.4, 35.0},
+	Tokyo:      {74.0, 70.0, 53.0, 48.0, 72.0, 103.0, 35.0, 0.4},
+}
+
+// WANLatency models the geo-distributed AWS network: nodes are assigned to
+// regions round-robin (as in the paper), and each message pays the
+// inter-region one-way latency plus multiplicative jitter.
+type WANLatency struct {
+	// JitterFrac is the coefficient of the exponential jitter added on top
+	// of the base latency (e.g. 0.2 adds on average 20%).
+	JitterFrac float64
+}
+
+var _ LatencyModel = (*WANLatency)(nil)
+
+// regionOf maps node IDs round-robin onto regions.
+func regionOf(id node.ID) Region { return Region(int(id) % int(numRegions)) }
+
+// Latency implements LatencyModel.
+func (w *WANLatency) Latency(from, to node.ID, rng *rand.Rand) time.Duration {
+	base := awsOneWayMillis[regionOf(from)][regionOf(to)]
+	jit := 0.0
+	if w.JitterFrac > 0 {
+		jit = rng.ExpFloat64() * w.JitterFrac * base
+	}
+	return time.Duration((base + jit) * float64(time.Millisecond))
+}
+
+// LANLatency models the CPS testbed's switched LAN: a small base latency
+// with exponential jitter.
+type LANLatency struct {
+	// Base is the typical one-way latency.
+	Base time.Duration
+	// JitterFrac is the coefficient of the exponential jitter.
+	JitterFrac float64
+}
+
+var _ LatencyModel = (*LANLatency)(nil)
+
+// Latency implements LatencyModel.
+func (l *LANLatency) Latency(_, _ node.ID, rng *rand.Rand) time.Duration {
+	jit := 0.0
+	if l.JitterFrac > 0 {
+		jit = rng.ExpFloat64() * l.JitterFrac * float64(l.Base)
+	}
+	return l.Base + time.Duration(jit)
+}
+
+// FixedLatency delivers every message after a constant delay. Useful for
+// deterministic unit tests.
+type FixedLatency time.Duration
+
+var _ LatencyModel = FixedLatency(0)
+
+// Latency implements LatencyModel.
+func (f FixedLatency) Latency(_, _ node.ID, _ *rand.Rand) time.Duration {
+	return time.Duration(f)
+}
+
+// AWS returns the environment modelling the paper's geo-distributed AWS
+// testbed: WAN latencies dominate; t2.micro-class CPU; effectively
+// unconstrained bandwidth relative to the message sizes involved.
+func AWS() Environment {
+	return Environment{
+		Name:              "aws",
+		Latency:           &WANLatency{JitterFrac: 0.15},
+		UplinkBytesPerSec: 60e6, // ~0.5 Gbit/s t2.micro burst uplink
+		MACBytes:          32,
+		Cost: CostModel{
+			PerMessage: 4 * time.Microsecond,
+			PerByte:    2 * time.Nanosecond,
+			Hash:       1 * time.Microsecond,
+			SigVerify:  65 * time.Microsecond,
+			SigSign:    30 * time.Microsecond,
+			Pairing:    1300 * time.Microsecond,
+			Contention: 1,
+		},
+	}
+}
+
+// CPS returns the environment modelling the paper's Raspberry-Pi testbed:
+// sub-millisecond LAN, constrained uplink (100 Mbit/s switch shared by
+// multiple emulated processes per device), and Raspberry-Pi-class CPU with
+// a contention factor for co-located processes.
+func CPS() Environment {
+	return Environment{
+		Name:              "cps",
+		Latency:           &LANLatency{Base: 400 * time.Microsecond, JitterFrac: 0.3},
+		UplinkBytesPerSec: 2.5e6, // ~100 Mbit/s device uplink / ~5 procs
+		MACBytes:          32,
+		Cost: CostModel{
+			PerMessage: 25 * time.Microsecond,
+			PerByte:    12 * time.Nanosecond,
+			Hash:       6 * time.Microsecond,
+			SigVerify:  350 * time.Microsecond,
+			SigSign:    160 * time.Microsecond,
+			Pairing:    7 * time.Millisecond,
+			Contention: 2.5,
+		},
+	}
+}
+
+// Local returns a fast, almost-free environment for unit tests: fixed tiny
+// latency, no bandwidth cap, negligible compute.
+func Local() Environment {
+	return Environment{
+		Name:     "local",
+		Latency:  FixedLatency(time.Millisecond),
+		MACBytes: 32,
+		Cost:     CostModel{PerMessage: time.Microsecond, Contention: 1},
+	}
+}

@@ -1,0 +1,419 @@
+// Package sim is a deterministic virtual-time discrete-event simulator for
+// asynchronous message-passing protocols.
+//
+// It stands in for the paper's two physical testbeds:
+//
+//   - the geo-distributed AWS deployment (latency-dominated), modelled by a
+//     WAN latency matrix over eight regions with jitter, and
+//   - the Raspberry-Pi CPS testbed (bandwidth- and compute-dominated),
+//     modelled by a LAN latency, a constrained per-node uplink, and a CPU
+//     cost model with Raspberry-Pi-class constants.
+//
+// Protocols implement node.Process and are driven by the simulator without
+// knowing they are being simulated. All randomness flows from a single seed,
+// so every experiment is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"delphi/internal/node"
+)
+
+// Event is a message delivery scheduled at a virtual time.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker for determinism
+	from node.ID
+	to   node.ID
+	msg  node.Message
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// LatencyModel samples one-way network latency between two nodes.
+type LatencyModel interface {
+	// Latency returns the propagation delay from one node to another.
+	Latency(from, to node.ID, rng *rand.Rand) time.Duration
+}
+
+// CostModel converts abstract compute costs into virtual CPU time.
+type CostModel struct {
+	// PerMessage is the fixed cost of receiving and dispatching a message.
+	PerMessage time.Duration
+	// PerByte is the per-byte serialization/MAC cost.
+	PerByte time.Duration
+	// Hash is the cost of one symmetric-crypto operation (SHA-256/HMAC).
+	Hash time.Duration
+	// SigVerify is the cost of one signature verification.
+	SigVerify time.Duration
+	// SigSign is the cost of one signing operation.
+	SigSign time.Duration
+	// Pairing is the cost of one pairing-equivalent operation.
+	Pairing time.Duration
+	// Contention multiplies all compute costs; used to model several
+	// protocol processes sharing one device (the CPS testbed runs ~11
+	// processes per 4-core Raspberry Pi at n=169).
+	Contention float64
+}
+
+// Cost returns the virtual CPU time for c.
+func (m CostModel) Cost(c node.ComputeCost) time.Duration {
+	d := time.Duration(c.Hashes)*m.Hash +
+		time.Duration(c.SigVerifies)*m.SigVerify +
+		time.Duration(c.SigSigns)*m.SigSign +
+		time.Duration(c.Pairings)*m.Pairing +
+		time.Duration(c.Bytes)*m.PerByte
+	if m.Contention > 0 {
+		d = time.Duration(float64(d) * m.Contention)
+	}
+	return d
+}
+
+// messageCost returns the baseline cost of receiving one message of the
+// given size: one MAC verification over its bytes plus dispatch overhead.
+func (m CostModel) messageCost(size int) time.Duration {
+	d := m.PerMessage + m.Hash + time.Duration(size)*m.PerByte
+	if m.Contention > 0 {
+		d = time.Duration(float64(d) * m.Contention)
+	}
+	return d
+}
+
+// Environment bundles the network and compute characteristics of a testbed.
+type Environment struct {
+	// Name labels the environment in reports ("aws", "cps").
+	Name string
+	// Latency is the propagation-delay model.
+	Latency LatencyModel
+	// UplinkBytesPerSec bounds each node's outgoing bandwidth. Zero means
+	// unlimited.
+	UplinkBytesPerSec float64
+	// Cost is the CPU cost model.
+	Cost CostModel
+	// MACBytes is the per-message authentication overhead added to the
+	// wire size (HMAC-SHA256 tag).
+	MACBytes int
+}
+
+// NodeStats aggregates per-node accounting.
+type NodeStats struct {
+	// MsgsSent and BytesSent count outgoing traffic (MAC included).
+	MsgsSent  int
+	BytesSent int64
+	// MsgsRecv counts processed deliveries.
+	MsgsRecv int
+	// Compute accumulates the node's explicitly charged crypto/compute
+	// work (signature counts feed the oracle-protocol comparisons).
+	Compute node.ComputeCost
+	// Output holds everything the node reported via Env.Output.
+	Output []any
+	// OutputAt is the virtual time of the last Output call.
+	OutputAt time.Duration
+	// Halted reports whether the process called Halt.
+	Halted bool
+	// HaltedAt is the virtual time of the Halt call.
+	HaltedAt time.Duration
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Stats holds per-node accounting, indexed by node ID.
+	Stats []NodeStats
+	// Time is the virtual time when the run ended.
+	Time time.Duration
+	// Events is the number of deliveries processed.
+	Events int
+	// TotalBytes is the sum of bytes sent by all nodes.
+	TotalBytes int64
+	// TotalMsgs is the sum of messages sent by all nodes.
+	TotalMsgs int
+}
+
+// LatestHonestOutput returns the largest OutputAt over the given honest
+// nodes; it is the protocol's completion latency.
+func (r *Result) LatestHonestOutput(honest []node.ID) time.Duration {
+	var mx time.Duration
+	for _, id := range honest {
+		if s := r.Stats[id]; len(s.Output) > 0 && s.OutputAt > mx {
+			mx = s.OutputAt
+		}
+	}
+	return mx
+}
+
+// Outputs collects the last output value of each listed node, skipping
+// nodes that produced none.
+func (r *Result) Outputs(ids []node.ID) []any {
+	out := make([]any, 0, len(ids))
+	for _, id := range ids {
+		if s := r.Stats[id]; len(s.Output) > 0 {
+			out = append(out, s.Output[len(s.Output)-1])
+		}
+	}
+	return out
+}
+
+// DelayRule lets an adversarial scheduler inject extra delay on selected
+// links/messages. It is consulted for every message; return 0 for no extra
+// delay.
+type DelayRule func(from, to node.ID, m node.Message) time.Duration
+
+// Runner drives a set of processes to completion in virtual time.
+type Runner struct {
+	cfg   node.Config
+	env   Environment
+	rng   *rand.Rand
+	procs []node.Process
+
+	queue      eventQueue
+	seq        uint64
+	now        time.Duration
+	busyUntil  []time.Duration
+	uplinkFree []time.Duration
+	stats      []NodeStats
+	halted     []bool
+	delayRule  DelayRule
+	maxTime    time.Duration
+	events     int
+
+	// current delivery context
+	curNode    node.ID
+	curCharge  node.ComputeCost
+	curOutMsgs []outMsg
+	curOutput  bool
+	curHalt    bool
+	inStep     bool
+}
+
+type outMsg struct {
+	to  node.ID
+	msg node.Message
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithDelayRule installs an adversarial scheduling rule.
+func WithDelayRule(r DelayRule) Option {
+	return func(rn *Runner) { rn.delayRule = r }
+}
+
+// WithMaxTime bounds the virtual runtime; the run stops once the clock
+// passes the bound (protects tests against liveness bugs).
+func WithMaxTime(d time.Duration) Option {
+	return func(rn *Runner) { rn.maxTime = d }
+}
+
+// NewRunner creates a runner for the given processes. procs[i] runs as node
+// i; entries may be honest protocols or Byzantine behaviours, and nil
+// entries model crashed (mute) nodes.
+func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Process, opts ...Option) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(procs) != cfg.N {
+		return nil, fmt.Errorf("sim: have %d processes for n=%d", len(procs), cfg.N)
+	}
+	r := &Runner{
+		cfg:        cfg,
+		env:        env,
+		rng:        rand.New(rand.NewSource(seed)),
+		procs:      procs,
+		busyUntil:  make([]time.Duration, cfg.N),
+		uplinkFree: make([]time.Duration, cfg.N),
+		stats:      make([]NodeStats, cfg.N),
+		halted:     make([]bool, cfg.N),
+		maxTime:    30 * time.Minute,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// simEnv is the node.Env implementation handed to each process.
+type simEnv struct {
+	r  *Runner
+	id node.ID
+}
+
+func (e *simEnv) Self() node.ID { return e.id }
+func (e *simEnv) N() int        { return e.r.cfg.N }
+func (e *simEnv) F() int        { return e.r.cfg.F }
+
+func (e *simEnv) Send(to node.ID, m node.Message) {
+	e.r.stageSend(e.id, to, m)
+}
+
+func (e *simEnv) Broadcast(m node.Message) {
+	for i := 0; i < e.r.cfg.N; i++ {
+		e.r.stageSend(e.id, node.ID(i), m)
+	}
+}
+
+func (e *simEnv) Output(v any) {
+	s := &e.r.stats[e.id]
+	s.Output = append(s.Output, v)
+	if e.r.inStep && e.id == e.r.curNode {
+		e.r.curOutput = true
+	}
+}
+
+func (e *simEnv) Halt() {
+	if !e.r.halted[e.id] {
+		e.r.halted[e.id] = true
+		e.r.stats[e.id].Halted = true
+		if e.r.inStep && e.id == e.r.curNode {
+			e.r.curHalt = true
+		}
+	}
+}
+
+func (e *simEnv) ChargeCompute(c node.ComputeCost) {
+	if e.r.inStep && e.id == e.r.curNode {
+		e.r.curCharge = e.r.curCharge.Add(c)
+	}
+}
+
+// stageSend buffers an outgoing message; it is flushed (with bandwidth and
+// latency applied) once the current processing step completes.
+func (r *Runner) stageSend(from, to node.ID, m node.Message) {
+	if r.inStep && from == r.curNode {
+		r.curOutMsgs = append(r.curOutMsgs, outMsg{to: to, msg: m})
+		return
+	}
+	// Sends outside a step (shouldn't happen for well-behaved processes)
+	// are dispatched at the node's current busy time.
+	r.dispatch(from, to, m, r.busyUntil[from])
+}
+
+// dispatch applies bandwidth serialization and latency and enqueues the
+// delivery event.
+func (r *Runner) dispatch(from, to node.ID, m node.Message, ready time.Duration) {
+	size := m.WireSize() + r.env.MACBytes
+	start := ready
+	if r.uplinkFree[from] > start {
+		start = r.uplinkFree[from]
+	}
+	var tx time.Duration
+	if r.env.UplinkBytesPerSec > 0 {
+		tx = time.Duration(float64(size) / r.env.UplinkBytesPerSec * float64(time.Second))
+	}
+	r.uplinkFree[from] = start + tx
+	lat := r.env.Latency.Latency(from, to, r.rng)
+	extra := time.Duration(0)
+	if r.delayRule != nil {
+		extra = r.delayRule(from, to, m)
+	}
+	at := start + tx + lat + extra
+	r.seq++
+	heap.Push(&r.queue, &event{at: at, seq: r.seq, from: from, to: to, msg: m})
+	st := &r.stats[from]
+	st.MsgsSent++
+	st.BytesSent += int64(size)
+}
+
+// step runs fn as node id's processing step at virtual time t, charging
+// compute and flushing staged sends afterwards.
+func (r *Runner) step(id node.ID, t time.Duration, base time.Duration, fn func(env node.Env)) {
+	start := t
+	if r.busyUntil[id] > start {
+		start = r.busyUntil[id]
+	}
+	r.inStep = true
+	r.curNode = id
+	r.curCharge = node.ComputeCost{}
+	r.curOutMsgs = r.curOutMsgs[:0]
+	r.curOutput = false
+	r.curHalt = false
+
+	env := &simEnv{r: r, id: id}
+	fn(env)
+
+	dur := base + r.env.Cost.Cost(r.curCharge)
+	r.stats[id].Compute = r.stats[id].Compute.Add(r.curCharge)
+	r.busyUntil[id] = start + dur
+	if r.curOutput {
+		r.stats[id].OutputAt = r.busyUntil[id]
+	}
+	if r.curHalt {
+		r.stats[id].HaltedAt = r.busyUntil[id]
+	}
+	// Flush sends: they leave the node once processing completes.
+	for _, om := range r.curOutMsgs {
+		r.dispatch(id, om.to, om.msg, r.busyUntil[id])
+	}
+	r.curOutMsgs = r.curOutMsgs[:0]
+	r.inStep = false
+}
+
+// Run executes the simulation until the event queue drains, all processes
+// halt, or the virtual-time bound is hit.
+func (r *Runner) Run() *Result {
+	heap.Init(&r.queue)
+	// Initialise all processes at t=0.
+	for i, p := range r.procs {
+		if p == nil {
+			continue
+		}
+		proc := p
+		r.step(node.ID(i), 0, 0, func(env node.Env) { proc.Init(env) })
+	}
+	for r.queue.Len() > 0 {
+		e := heap.Pop(&r.queue).(*event)
+		r.now = e.at
+		if r.now > r.maxTime {
+			break
+		}
+		if r.halted[e.to] || r.procs[e.to] == nil {
+			continue
+		}
+		r.events++
+		r.stats[e.to].MsgsRecv++
+		size := e.msg.WireSize() + r.env.MACBytes
+		p := r.procs[e.to]
+		r.step(e.to, e.at, r.env.Cost.messageCost(size), func(node.Env) {
+			p.Deliver(e.from, e.msg)
+		})
+		if r.allHalted() {
+			break
+		}
+	}
+	res := &Result{Stats: r.stats, Time: r.now, Events: r.events}
+	for i := range r.stats {
+		res.TotalBytes += r.stats[i].BytesSent
+		res.TotalMsgs += r.stats[i].MsgsSent
+	}
+	return res
+}
+
+func (r *Runner) allHalted() bool {
+	for i, h := range r.halted {
+		if !h && r.procs[i] != nil {
+			return false
+		}
+	}
+	return true
+}

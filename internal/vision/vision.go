@@ -1,0 +1,109 @@
+// Package vision models the paper's drone-based object detection pipeline
+// (§VI-B, Fig. 5): an EfficientDet-class detector whose detections have
+// Gamma-distributed IoU with mean ≈0.87, a bounding-box→metres conversion
+// using standard car dimensions, and FAA-report GPS error. It generates the
+// per-drone location estimates the CPS experiments feed into Delphi.
+package vision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"delphi/internal/dist"
+)
+
+// Point is a 2-D location in metres.
+type Point struct {
+	// X is the east coordinate.
+	X float64
+	// Y is the north coordinate.
+	Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Model bundles the error sources of one drone's location estimate.
+type Model struct {
+	// IoU is the detector's IoU distribution (truncated to [0,1] at
+	// sampling time). The paper measures Gamma with mean 0.87.
+	IoU dist.Gamma
+	// CarDiag is the ground-truth bounding-box diagonal in metres
+	// (5m × 2m car → 5.385m; the paper uses 5.3m).
+	CarDiag float64
+	// GPS is the per-axis GPS error magnitude distribution (FAA report:
+	// 1.3m average, <5m at 99.99%).
+	GPS dist.Gamma
+}
+
+// DefaultModel returns the calibration from the paper's measurements.
+func DefaultModel() Model {
+	return Model{
+		// Mean 0.87, sd ≈0.097: <0.6 IoU in ≈0.3% of detections (paper: 0.37%).
+		IoU:     dist.Gamma{Shape: 80, Scale: 0.010875},
+		CarDiag: 5.3,
+		// Mean 1.3m with a thin Gamma tail.
+		GPS: dist.Gamma{Shape: 6.5, Scale: 0.2},
+	}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.IoU.Shape <= 0 || m.IoU.Scale <= 0 || m.GPS.Shape <= 0 || m.GPS.Scale <= 0 {
+		return fmt.Errorf("vision: non-positive distribution parameters: %+v", m)
+	}
+	if m.CarDiag <= 0 {
+		return fmt.Errorf("vision: car diagonal must be positive, got %g", m.CarDiag)
+	}
+	return nil
+}
+
+// SampleIoU draws one detection IoU, truncated to [0, 1].
+func (m Model) SampleIoU(rng *rand.Rand) float64 {
+	v := m.IoU.Sample(rng)
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// SampleIoUs draws n detection IoUs (the Fig. 5 dataset is n = 80000).
+func (m Model) SampleIoUs(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.SampleIoU(rng)
+	}
+	return out
+}
+
+// axisError draws one axis's estimate error: detector displacement bounded
+// by (1−IoU)·diag plus GPS error, with random sign.
+func (m Model) axisError(rng *rand.Rand) float64 {
+	bb := (1 - m.SampleIoU(rng)) * m.CarDiag * rng.Float64()
+	gps := m.GPS.Sample(rng)
+	e := bb + gps*rng.Float64()
+	if rng.Intn(2) == 0 {
+		return -e
+	}
+	return e
+}
+
+// Observe returns one drone's estimate of the target's true location.
+func (m Model) Observe(target Point, rng *rand.Rand) Point {
+	return Point{X: target.X + m.axisError(rng), Y: target.Y + m.axisError(rng)}
+}
+
+// DroneInputs generates n drones' location estimates of one target.
+func (m Model) DroneInputs(n int, target Point, rng *rand.Rand) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = m.Observe(target, rng)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package vision_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/dist"
+	"delphi/internal/vision"
+)
+
+func TestIoUMatchesFig5(t *testing.T) {
+	m := vision.DefaultModel()
+	rng := rand.New(rand.NewSource(1))
+	ious := m.SampleIoUs(80000, rng)
+
+	mean, _ := dist.Moments(ious)
+	if math.Abs(mean-0.87) > 0.02 {
+		t.Errorf("mean IoU %g, paper reports 0.87", mean)
+	}
+	below := 0
+	for _, v := range ious {
+		if v < 0.6 {
+			below++
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("IoU %g outside [0,1]", v)
+		}
+	}
+	frac := float64(below) / float64(len(ious))
+	if frac > 0.01 {
+		t.Errorf("%.2f%% detections below 0.6 IoU, paper reports 0.37%%", frac*100)
+	}
+	// Gamma must fit the IoU values better than Fréchet (Fig. 5 finding).
+	gam := dist.FitGamma(ious)
+	ksGam := dist.KS(ious, gam)
+	if fre, err := dist.FitFrechet(ious); err == nil {
+		if ksGam >= dist.KS(ious, fre) {
+			t.Errorf("KS gamma=%g should beat frechet=%g", ksGam, dist.KS(ious, fre))
+		}
+	}
+}
+
+func TestLocationErrors(t *testing.T) {
+	m := vision.DefaultModel()
+	rng := rand.New(rand.NewSource(2))
+	target := vision.Point{X: 120, Y: -40}
+	pts := m.DroneInputs(20000, target, rng)
+	var sum float64
+	worst := 0.0
+	for _, p := range pts {
+		d := p.Distance(target)
+		sum += d
+		worst = math.Max(worst, d)
+	}
+	meanErr := sum / float64(len(pts))
+	// Paper: expected error ≈2m, bounded by ~10.5m at 99.99%.
+	if meanErr < 0.5 || meanErr > 4 {
+		t.Errorf("mean location error %gm outside the paper's ~2m ballpark", meanErr)
+	}
+	if worst > 20 {
+		t.Errorf("worst-case location error %gm implausibly large", worst)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := vision.DefaultModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.CarDiag = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero car diagonal accepted")
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	a := vision.Point{X: 0, Y: 0}
+	b := vision.Point{X: 3, Y: 4}
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("distance = %g, want 5", d)
+	}
+}

@@ -1,0 +1,307 @@
+// Package wire provides the hand-rolled binary encoding used by every
+// protocol message in this repository, plus a registry that maps wire-type
+// bytes to decoders so transports can reconstruct concrete message types.
+//
+// The encoding is deliberately simple and deterministic: fixed-width
+// little-endian integers and IEEE-754 floats, with unsigned varints for
+// lengths. Message bodies never embed their own type byte; framing
+// (type byte, length, MAC) is added by the transport layer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"delphi/internal/node"
+)
+
+// Wire-type bytes for every message in the repository. Centralising them
+// here guarantees global uniqueness.
+const (
+	// BinAA / Delphi (internal/binaa, internal/core).
+	TypeEcho1 uint8 = iota + 1
+	TypeEcho2
+	TypeEcho1C
+	TypeEcho2C
+
+	// Bracha reliable broadcast (internal/rbc).
+	TypeRBCInit
+	TypeRBCEcho
+	TypeRBCReady
+
+	// Common coin (internal/coin).
+	TypeCoinShare
+
+	// Binary Byzantine agreement (internal/aba).
+	TypeABABVal
+	TypeABAAux
+
+	// ACS (internal/acs).
+	TypeACSPayload
+
+	// Abraham et al. / Dolev et al. AAA baselines (internal/aaa).
+	TypeAAAValue
+	TypeAAAReport
+	TypeAAAMulticast
+
+	// DORA oracle layer (internal/dora).
+	TypeDoraSig
+	TypeDoraSubmit
+
+	// Test-only messages.
+	TypeTestPing
+)
+
+// ErrTruncated reports a message body shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Writer serialises primitives into a byte buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given capacity hint.
+func NewWriter(capHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// Bytes returns the encoded bytes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 writes a fixed-width little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// U32 writes a fixed-width little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 writes a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// UVarint writes an unsigned varint.
+func (w *Writer) UVarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint writes a signed varint.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// F64 writes an IEEE-754 float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// BytesLP writes a length-prefixed byte slice.
+func (w *Writer) BytesLP(b []byte) {
+	w.UVarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader deserialises primitives from a byte buffer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a fixed-width little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a fixed-width little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// UVarint reads an unsigned varint.
+func (r *Reader) UVarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = ErrTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = ErrTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// BytesLP reads a length-prefixed byte slice. The returned slice aliases the
+// reader's buffer.
+func (r *Reader) BytesLP() []byte {
+	n := r.UVarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// UVarintSize returns the encoded size of v as an unsigned varint.
+func UVarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintSize returns the encoded size of v as a signed varint.
+func VarintSize(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return UVarintSize(uv)
+}
+
+// Decoder reconstructs a message from its encoded body.
+type Decoder func(body []byte) (node.Message, error)
+
+// Registry maps wire-type bytes to decoders.
+type Registry struct {
+	decoders [256]Decoder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register installs a decoder for wire type t. Registering the same type
+// twice is a programming error and returns an error.
+func (g *Registry) Register(t uint8, d Decoder) error {
+	if g.decoders[t] != nil {
+		return fmt.Errorf("wire: type %d already registered", t)
+	}
+	g.decoders[t] = d
+	return nil
+}
+
+// Decode reconstructs the message with wire type t from body.
+func (g *Registry) Decode(t uint8, body []byte) (node.Message, error) {
+	d := g.decoders[t]
+	if d == nil {
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+	return d(body)
+}
+
+// Encode frames m as type byte followed by the marshalled body.
+func Encode(m node.Message) ([]byte, error) {
+	body, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal type %d: %w", m.Type(), err)
+	}
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, m.Type())
+	out = append(out, body...)
+	return out, nil
+}
+
+// DecodeFramed splits a framed message into its type byte and body and
+// decodes it through the registry.
+func (g *Registry) DecodeFramed(frame []byte) (node.Message, error) {
+	if len(frame) < 1 {
+		return nil, ErrTruncated
+	}
+	return g.Decode(frame[0], frame[1:])
+}
