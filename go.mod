@@ -1,0 +1,3 @@
+module delphi
+
+go 1.24

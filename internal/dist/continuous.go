@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Normal is the Gaussian distribution N(Mu, Sigma²).
+type Normal struct {
+	// Mu is the mean.
+	Mu float64
+	// Sigma is the standard deviation.
+	Sigma float64
+}
+
+// Name implements Distribution.
+func (d Normal) Name() string { return "normal" }
+
+// Mean returns the analytic mean Mu.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Var returns the analytic variance Sigma².
+func (d Normal) Var() float64 { return d.Sigma * d.Sigma }
+
+// Sample implements Distribution.
+func (d Normal) Sample(rng *rand.Rand) float64 {
+	return d.Mu + d.Sigma*rng.NormFloat64()
+}
+
+// CDF implements Distribution.
+func (d Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// Quantile implements Distribution.
+func (d Normal) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return d.Mu + d.Sigma*math.Sqrt2*math.Erfinv(2*p-1)
+}
+
+// Lognormal is the distribution of exp(N(Mu, Sigma²)).
+type Lognormal struct {
+	// Mu is the mean of the underlying normal (log-scale location).
+	Mu float64
+	// Sigma is the standard deviation of the underlying normal.
+	Sigma float64
+}
+
+// Name implements Distribution.
+func (d Lognormal) Name() string { return "lognormal" }
+
+// Mean returns the analytic mean exp(Mu + Sigma²/2).
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Var returns the analytic variance (exp(Sigma²)−1)·exp(2Mu+Sigma²).
+func (d Lognormal) Var() float64 {
+	s2 := d.Sigma * d.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*d.Mu+s2)
+}
+
+// Sample implements Distribution.
+func (d Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+// CDF implements Distribution.
+func (d Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: d.Mu, Sigma: d.Sigma}.CDF(math.Log(x))
+}
+
+// Quantile implements Distribution.
+func (d Lognormal) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	if p == 0 {
+		return 0
+	}
+	return math.Exp(Normal{Mu: d.Mu, Sigma: d.Sigma}.Quantile(p))
+}
+
+// Gamma is the gamma distribution with shape k and scale θ:
+// density x^{k−1} e^{−x/θ} / (Γ(k) θ^k) on x > 0.
+type Gamma struct {
+	// Shape is k.
+	Shape float64
+	// Scale is θ.
+	Scale float64
+}
+
+// Name implements Distribution.
+func (d Gamma) Name() string { return "gamma" }
+
+// Mean returns the analytic mean kθ.
+func (d Gamma) Mean() float64 { return d.Shape * d.Scale }
+
+// Var returns the analytic variance kθ².
+func (d Gamma) Var() float64 { return d.Shape * d.Scale * d.Scale }
+
+// Sample implements Distribution via the Marsaglia–Tsang squeeze method,
+// with the standard boost U^{1/k} for shape below 1. Invalid parameters
+// (non-positive shape or scale) yield NaN rather than hanging the
+// rejection loop.
+func (d Gamma) Sample(rng *rand.Rand) float64 {
+	if !(d.Shape > 0) || !(d.Scale > 0) {
+		return math.NaN()
+	}
+	shape := d.Shape
+	boost := 1.0
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) · U^{1/k}; U must be positive or the
+		// sample collapses to 0, outside the support.
+		boost = math.Pow(positiveUniform(rng), 1/shape)
+		shape++
+	}
+	c1 := shape - 1.0/3.0
+	c2 := 1 / math.Sqrt(9*c1)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c2*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return c1 * v * d.Scale * boost
+		}
+		if math.Log(u) < 0.5*x*x+c1*(1-v+math.Log(v)) {
+			return c1 * v * d.Scale * boost
+		}
+	}
+}
+
+// CDF implements Distribution through the regularized incomplete gamma
+// function P(k, x/θ).
+func (d Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaP(d.Shape, x/d.Scale)
+}
+
+// Quantile implements Distribution by numeric inversion of CDF (the gamma
+// quantile has no closed form).
+func (d Gamma) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || !(d.Shape > 0) || !(d.Scale > 0) {
+		return math.NaN()
+	}
+	if p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	// Bracket the quantile: grow hi from a moment-based guess.
+	hi := d.Mean() + 10*math.Sqrt(d.Var())
+	for d.CDF(hi) < p {
+		hi *= 2
+	}
+	return invertCDFMonotone(d.CDF, p, 0, hi)
+}
+
+// Pareto is the (type I) Pareto distribution with minimum Xm and tail
+// index Alpha: P(X > x) = (Xm/x)^Alpha for x >= Xm.
+type Pareto struct {
+	// Xm is the scale (minimum value of the support).
+	Xm float64
+	// Alpha is the tail index; moments of order >= Alpha diverge.
+	Alpha float64
+}
+
+// Name implements Distribution.
+func (d Pareto) Name() string { return "pareto" }
+
+// Mean returns the analytic mean α·Xm/(α−1), or +Inf for α <= 1.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Var returns the analytic variance, or +Inf for α <= 2.
+func (d Pareto) Var() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.Alpha
+	return d.Xm * d.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// Sample implements Distribution by inverse-transform sampling.
+func (d Pareto) Sample(rng *rand.Rand) float64 {
+	// 1−U is uniform on (0, 1]; using it directly avoids the U=0 pole.
+	return d.Xm * math.Pow(1-rng.Float64(), -1/d.Alpha)
+}
+
+// CDF implements Distribution.
+func (d Pareto) CDF(x float64) float64 {
+	if x <= d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// Quantile implements Distribution.
+func (d Pareto) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return d.Xm * math.Pow(1-p, -1/d.Alpha)
+}

@@ -1,0 +1,189 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/dist"
+)
+
+// analytic pairs a distribution with its closed-form mean and variance.
+type analytic interface {
+	dist.Distribution
+	Mean() float64
+	Var() float64
+}
+
+var cases = []struct {
+	name string
+	d    analytic
+	// support bounds for round-trip probing (inclusive where finite).
+	lo, hi float64
+}{
+	{"normal", dist.Normal{Mu: -3, Sigma: 2.5}, math.Inf(-1), math.Inf(1)},
+	{"lognormal", dist.Lognormal{Mu: 0.5, Sigma: 0.6}, 0, math.Inf(1)},
+	{"gamma-shape>1", dist.Gamma{Shape: 30, Scale: 0.18}, 0, math.Inf(1)},
+	{"gamma-shape<1", dist.Gamma{Shape: 0.7, Scale: 2}, 0, math.Inf(1)},
+	{"pareto", dist.Pareto{Xm: 10, Alpha: 5}, 10, math.Inf(1)},
+	{"gumbel", dist.Gumbel{Mu: 4, Beta: 1.5}, math.Inf(-1), math.Inf(1)},
+	{"frechet", dist.Frechet{Loc: 1, Scale: 29.3, Alpha: 4.41}, 1, math.Inf(1)},
+}
+
+// TestSampleMomentsMatchAnalytic draws a large seeded sample from each
+// family and compares empirical moments against the closed forms.
+func TestSampleMomentsMatchAnalytic(t *testing.T) {
+	const n = 200_000
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			samples := make([]float64, n)
+			for j := range samples {
+				samples[j] = tc.d.Sample(rng)
+			}
+			mean, variance := dist.Moments(samples)
+			wantMean, wantVar := tc.d.Mean(), tc.d.Var()
+			sd := math.Sqrt(wantVar)
+			if math.Abs(mean-wantMean) > 0.05*sd+1e-12 {
+				t.Errorf("sample mean %g, analytic %g", mean, wantMean)
+			}
+			// Variance converges slower, and slower still for heavy tails
+			// (pareto α=5, frechet α=4.41 have finite but large 4th-moment
+			// influence), so the band is loose.
+			if math.Abs(variance-wantVar) > 0.15*wantVar {
+				t.Errorf("sample variance %g, analytic %g", variance, wantVar)
+			}
+		})
+	}
+}
+
+// TestQuantileCDFRoundTrip checks Quantile(CDF(x)) ≈ x on sampled points
+// and CDF(Quantile(p)) ≈ p on a probability grid, for every family.
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(200 + i)))
+			for j := 0; j < 500; j++ {
+				x := tc.d.Sample(rng)
+				p := tc.d.CDF(x)
+				if p < 0 || p > 1 {
+					t.Fatalf("CDF(%g) = %g outside [0,1]", x, p)
+				}
+				if p <= 1e-12 || p >= 1-1e-12 {
+					continue // quantile ill-conditioned at the far tails
+				}
+				back := tc.d.Quantile(p)
+				if math.Abs(back-x) > 1e-6*(math.Abs(x)+1) {
+					t.Fatalf("Quantile(CDF(%g)) = %g", x, back)
+				}
+			}
+			for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				x := tc.d.Quantile(p)
+				if got := tc.d.CDF(x); math.Abs(got-p) > 1e-9 {
+					t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCDFMonotoneAndBounded probes each CDF on a wide grid.
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := tc.lo, tc.hi
+			if math.IsInf(lo, -1) {
+				lo = tc.d.Quantile(1e-6)
+			}
+			if math.IsInf(hi, 1) {
+				hi = tc.d.Quantile(1 - 1e-6)
+			}
+			prev := -1.0
+			for j := 0; j <= 1000; j++ {
+				x := lo + (hi-lo)*float64(j)/1000
+				p := tc.d.CDF(x)
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					t.Fatalf("CDF(%g) = %g outside [0,1]", x, p)
+				}
+				if p < prev {
+					t.Fatalf("CDF decreasing at %g: %g < %g", x, p, prev)
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+// TestSamplesStayInSupport verifies no family escapes its support.
+func TestSamplesStayInSupport(t *testing.T) {
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(300 + i)))
+			for j := 0; j < 10_000; j++ {
+				x := tc.d.Sample(rng)
+				if math.IsNaN(x) || x < tc.lo || x > tc.hi {
+					t.Fatalf("sample %g outside support [%g, %g]", x, tc.lo, tc.hi)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileRejectsBadP checks the documented NaN contract.
+func TestQuantileRejectsBadP(t *testing.T) {
+	for _, tc := range cases {
+		for _, p := range []float64{-0.1, 1.1} {
+			if got := tc.d.Quantile(p); !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%g) = %g, want NaN", tc.name, p, got)
+			}
+		}
+	}
+}
+
+// TestNames pins the lowercase family names the bench layer keys on.
+func TestNames(t *testing.T) {
+	want := map[string]string{
+		"normal": "normal", "lognormal": "lognormal", "pareto": "pareto",
+		"gumbel": "gumbel", "frechet": "frechet",
+	}
+	for _, tc := range cases {
+		if w, ok := want[tc.name]; ok && tc.d.Name() != w {
+			t.Errorf("%s.Name() = %q", tc.name, tc.d.Name())
+		}
+	}
+	if (dist.Gamma{Shape: 1, Scale: 1}).Name() != "gamma" {
+		t.Error("gamma name")
+	}
+}
+
+// TestGammaCDFLargeShape guards the incomplete-gamma evaluation across
+// the huge-shape regimes (adaptive series budget below 1e8, the
+// Wilson–Hilferty approximation above): the CDF at the mean must stay
+// ≈ Φ(0) = 0.5 and the median round-trip must hold. A fixed iteration
+// cap silently returned 0.44 at Shape=1e5 and 0.19 at Shape=1e6.
+func TestGammaCDFLargeShape(t *testing.T) {
+	for _, shape := range []float64{1e4, 1e5, 1e6, 1e9, 1e12} {
+		d := dist.Gamma{Shape: shape, Scale: 1 / shape} // mean 1
+		if p := d.CDF(1); math.Abs(p-0.5) > 0.01 {
+			t.Errorf("Shape=%g: CDF(mean) = %g, want ≈0.5", shape, p)
+		}
+		med := d.Quantile(0.5)
+		if got := d.CDF(med); math.Abs(got-0.5) > 1e-6 {
+			t.Errorf("Shape=%g: CDF(Quantile(0.5)) = %g", shape, got)
+		}
+	}
+}
+
+// TestMomentsEdgeCases covers the degenerate-input contract.
+func TestMomentsEdgeCases(t *testing.T) {
+	if m, v := dist.Moments(nil); m != 0 || v != 0 {
+		t.Errorf("Moments(nil) = %g, %g", m, v)
+	}
+	if m, v := dist.Moments([]float64{7}); m != 7 || v != 0 {
+		t.Errorf("Moments([7]) = %g, %g", m, v)
+	}
+	m, v := dist.Moments([]float64{1, 2, 3, 4})
+	if m != 2.5 || math.Abs(v-5.0/3) > 1e-12 {
+		t.Errorf("Moments(1..4) = %g, %g; want 2.5, 5/3", m, v)
+	}
+}

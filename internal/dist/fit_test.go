@@ -1,0 +1,151 @@
+package dist_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/dist"
+)
+
+func sampleN(d dist.Distribution, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// TestFitGumbelRecovery samples from a known Gumbel law and checks the
+// method-of-moments fit recovers the parameters.
+func TestFitGumbelRecovery(t *testing.T) {
+	truth := dist.Gumbel{Mu: 50, Beta: 4}
+	got := dist.FitGumbel(sampleN(truth, 100_000, 1))
+	if math.Abs(got.Mu-truth.Mu) > 0.05*truth.Mu {
+		t.Errorf("Mu = %g, want ≈%g", got.Mu, truth.Mu)
+	}
+	if math.Abs(got.Beta-truth.Beta) > 0.1*truth.Beta {
+		t.Errorf("Beta = %g, want ≈%g", got.Beta, truth.Beta)
+	}
+}
+
+// TestFitFrechetRecovery samples from the paper's Fig. 4 Fréchet fit
+// (α = 4.41, scale 29.3) and checks the fit recovers it.
+func TestFitFrechetRecovery(t *testing.T) {
+	truth := dist.Frechet{Loc: 0, Scale: 29.3, Alpha: 4.41}
+	got, err := dist.FitFrechet(sampleN(truth, 100_000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Scale-truth.Scale) > 0.1*truth.Scale {
+		t.Errorf("Scale = %g, want ≈%g", got.Scale, truth.Scale)
+	}
+	if math.Abs(got.Alpha-truth.Alpha) > 0.5 {
+		t.Errorf("Alpha = %g, want ≈%g", got.Alpha, truth.Alpha)
+	}
+}
+
+// TestFitGammaRecovery samples from the paper's IoU Gamma model and checks
+// the fit recovers it.
+func TestFitGammaRecovery(t *testing.T) {
+	truth := dist.Gamma{Shape: 80, Scale: 0.010875}
+	got := dist.FitGamma(sampleN(truth, 100_000, 3))
+	if math.Abs(got.Shape-truth.Shape) > 0.05*truth.Shape {
+		t.Errorf("Shape = %g, want ≈%g", got.Shape, truth.Shape)
+	}
+	if math.Abs(got.Scale-truth.Scale) > 0.05*truth.Scale {
+		t.Errorf("Scale = %g, want ≈%g", got.Scale, truth.Scale)
+	}
+}
+
+// TestFitFrechetErrors covers the documented error contract.
+func TestFitFrechetErrors(t *testing.T) {
+	if _, err := dist.FitFrechet([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := dist.FitFrechet([]float64{1, -2, 3}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := dist.FitFrechet([]float64{0, 1, 2}); err == nil {
+		t.Error("zero sample accepted")
+	}
+	if _, err := dist.FitFrechet([]float64{5, 5, 5}); err == nil {
+		t.Error("constant samples accepted")
+	}
+	if _, err := dist.FitFrechet([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+// TestFitFrechetFatTailClamp feeds a sample whose CV exceeds any α > 2
+// Fréchet law and checks the fit clamps to the fat-tail boundary rather
+// than failing.
+func TestFitFrechetFatTailClamp(t *testing.T) {
+	// Pareto α=2.2 has enormous sample CV; the MoM fit must clamp.
+	got, err := dist.FitFrechet(sampleN(dist.Pareto{Xm: 1, Alpha: 2.2}, 50_000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Alpha > 2.5 {
+		t.Errorf("Alpha = %g, want clamp near 2 for ultra-fat-tailed data", got.Alpha)
+	}
+	if !(got.Scale > 0) {
+		t.Errorf("Scale = %g, want positive", got.Scale)
+	}
+}
+
+// TestFitGumbelDegenerate keeps Beta finite and non-negative on constant
+// input.
+func TestFitGumbelDegenerate(t *testing.T) {
+	got := dist.FitGumbel([]float64{3, 3, 3})
+	if got.Beta != 0 || math.Abs(got.Mu-3) > 1e-12 {
+		t.Errorf("constant fit = %+v, want Mu=3 Beta=0", got)
+	}
+}
+
+// TestFitGammaDegenerate keeps the fit a valid distribution on constant
+// input.
+func TestFitGammaDegenerate(t *testing.T) {
+	got := dist.FitGamma([]float64{2, 2, 2})
+	if !(got.Shape > 0) || !(got.Scale > 0) {
+		t.Errorf("constant fit = %+v, want positive parameters", got)
+	}
+	if mean := got.Mean(); math.Abs(mean-2) > 1e-6 {
+		t.Errorf("constant fit mean = %g, want ≈2", mean)
+	}
+	// The fallback must stay numerically trustworthy: its CDF at the
+	// mass point must be ≈0.5, not garbage from series truncation.
+	if cdf := got.CDF(2); math.Abs(cdf-0.5) > 0.05 {
+		t.Errorf("constant fit CDF at mass point = %g, want ≈0.5", cdf)
+	}
+	// Gamma-incompatible input (non-positive mean) must still yield a
+	// usable distribution: positive scale, terminating finite quantile.
+	neg := dist.FitGamma([]float64{-1, -2, -3})
+	if !(neg.Scale > 0) {
+		t.Fatalf("negative-mean fit scale = %g, want positive", neg.Scale)
+	}
+	if q := neg.Quantile(0.5); !(q > 0) || math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Errorf("negative-mean fit Quantile(0.5) = %g, want positive finite", q)
+	}
+	// NaN contamination must also land in the fallback, not produce a
+	// Gamma{NaN, NaN}.
+	nan := dist.FitGamma([]float64{1, math.NaN(), 3})
+	if !(nan.Shape > 0) || !(nan.Scale > 0) {
+		t.Errorf("NaN-contaminated fit = %+v, want positive parameters", nan)
+	}
+}
+
+// TestGammaInvalidParams pins the no-hang contract: invalid shape/scale
+// yield NaN from Sample/Quantile instead of spinning the rejection loop.
+func TestGammaInvalidParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []dist.Gamma{{Shape: -1.5, Scale: 1}, {Shape: 0, Scale: 1}, {Shape: 1, Scale: -2}} {
+		if v := d.Sample(rng); !math.IsNaN(v) {
+			t.Errorf("%+v.Sample = %g, want NaN", d, v)
+		}
+		if q := d.Quantile(0.5); !math.IsNaN(q) {
+			t.Errorf("%+v.Quantile = %g, want NaN", d, q)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package dist_test
+
+import (
+	"math"
+	"testing"
+
+	"delphi/internal/dist"
+)
+
+// TestKSSelfConsistency draws from each family and checks the KS statistic
+// against the generating distribution stays below the 1% critical value,
+// while a deliberately wrong distribution exceeds it. This is the property
+// the evt calibration relies on to discriminate Gumbel vs Fréchet tails.
+func TestKSSelfConsistency(t *testing.T) {
+	const n = 2000
+	crit := dist.KSCritical(0.01, n)
+	wrong := map[string]dist.Distribution{
+		"normal":        dist.Normal{Mu: 2, Sigma: 2.5}, // shifted
+		"lognormal":     dist.Gumbel{Mu: 2, Beta: 1},
+		"gamma-shape>1": dist.Gamma{Shape: 30, Scale: 0.3}, // rescaled
+		"gamma-shape<1": dist.Gamma{Shape: 2, Scale: 2},
+		"pareto":        dist.Pareto{Xm: 10, Alpha: 2},
+		"gumbel":        dist.Normal{Mu: 4, Sigma: 1.5},
+		"frechet":       dist.Gumbel{Mu: 29.3, Beta: 10},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			samples := sampleN(tc.d, n, int64(400+i))
+			if ks := dist.KS(samples, tc.d); ks >= crit {
+				t.Errorf("KS against own law = %g, critical %g", ks, crit)
+			}
+			w := wrong[tc.name]
+			if ks := dist.KS(samples, w); ks <= crit {
+				t.Errorf("KS against %s = %g, should exceed critical %g", w.Name(), ks, crit)
+			}
+		})
+	}
+}
+
+// TestKSDegenerate pins the empty-sample contract.
+func TestKSDegenerate(t *testing.T) {
+	if ks := dist.KS(nil, dist.Normal{Sigma: 1}); ks != 0 {
+		t.Errorf("KS(nil) = %g", ks)
+	}
+}
+
+// TestKSNaNCDFPropagates checks a distribution whose CDF yields NaN (the
+// degenerate Beta=0 Gumbel fit of constant samples) cannot score as a
+// perfect fit: the statistic must be NaN, which never wins a < or <=
+// comparison in the evt/bench fit-selection code.
+func TestKSNaNCDFPropagates(t *testing.T) {
+	constant := []float64{5, 5, 5}
+	degenerate := dist.FitGumbel(constant) // Beta = 0: CDF(5) = NaN
+	ks := dist.KS(constant, degenerate)
+	if !math.IsNaN(ks) {
+		t.Errorf("KS against degenerate fit = %g, want NaN", ks)
+	}
+	if ks <= 0.5 || ks < 0.5 { // NaN must lose any would-be "best fit" test
+		t.Error("NaN statistic won a comparison")
+	}
+}
+
+// TestKSCritical sanity-checks the critical-value table ordering.
+func TestKSCritical(t *testing.T) {
+	n := 1000
+	c10, c05, c01 := dist.KSCritical(0.10, n), dist.KSCritical(0.05, n), dist.KSCritical(0.01, n)
+	if !(c10 < c05 && c05 < c01) {
+		t.Errorf("critical values out of order: %g %g %g", c10, c05, c01)
+	}
+	if bad := dist.KSCritical(0.42, n); bad != c05 {
+		t.Errorf("unsupported alpha should fall back to 0.05: %g vs %g", bad, c05)
+	}
+}

@@ -83,7 +83,13 @@ func Calibrate(base dist.Distribution, n, lambda, trials int, rng *rand.Rand) (C
 		return Calibration{}, fmt.Errorf("evt: need >= 100 trials, got %d", trials)
 	}
 	ranges := RangeSamples(base, n, trials, rng)
-	mean, _ := dist.Moments(ranges)
+	mean, variance := dist.Moments(ranges)
+	if !(variance > 0) {
+		// A constant range (e.g. a zero-variance noise model) admits no
+		// extreme-value fit; both families would degenerate and the
+		// quantile readout would be NaN.
+		return Calibration{}, fmt.Errorf("evt: degenerate range samples (zero spread, mean %g); no extreme-value law fits", mean)
+	}
 
 	gum := dist.FitGumbel(ranges)
 	ksG := dist.KS(ranges, gum)

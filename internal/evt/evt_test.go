@@ -96,4 +96,7 @@ func TestCalibrateValidation(t *testing.T) {
 	if _, err := evt.Calibrate(dist.Normal{Sigma: 1}, 10, 20, 10, rng); err == nil {
 		t.Error("too few trials should fail")
 	}
+	if _, err := evt.Calibrate(dist.Normal{Mu: 100, Sigma: 0}, 16, 40, 1000, rng); err == nil {
+		t.Error("zero-variance noise (constant ranges) should fail, not return NaN Delta")
+	}
 }

@@ -1,0 +1,69 @@
+package evt_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/dist"
+	"delphi/internal/evt"
+)
+
+// TestCalibrateGolden is a deterministic-seed regression guard on the
+// Gumbel/Fréchet tail-quantile math: a fixed seed and fixed
+// (base, n, lambda, trials) must keep producing exactly the same
+// calibration. Any drift here means the sampling, fitting, or quantile
+// code changed behaviour — intentional changes must update the golden
+// values below (capture them by printing the Calibration at %.15g).
+func TestCalibrateGolden(t *testing.T) {
+	const tol = 1e-9 // relative; the computation is deterministic float math
+
+	approx := func(t *testing.T, name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol*math.Max(math.Abs(want), 1) {
+			t.Errorf("%s = %.15g, golden %.15g", name, got, want)
+		}
+	}
+
+	t.Run("thin-tail-normal", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(0xde1f1))
+		cal, err := evt.Calibrate(dist.Normal{Mu: 0, Sigma: 10}, 16, 40, 1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cal.ThinTailed {
+			t.Fatalf("golden run flipped to fat-tailed: %+v", cal)
+		}
+		approx(t, "Delta", cal.Delta, 185.030042799182)
+		approx(t, "MeanRange", cal.MeanRange, 35.4087256043899)
+		approx(t, "KSGumbel", cal.KSGumbel, 0.0416379671446397)
+		approx(t, "KSFrechet", cal.KSFrechet, 0.080823984224288)
+		g, ok := cal.Fit.(dist.Gumbel)
+		if !ok {
+			t.Fatalf("fit type %T, want Gumbel", cal.Fit)
+		}
+		approx(t, "Fit.Mu", g.Mu, 32.22758401869081)
+		approx(t, "Fit.Beta", g.Beta, 5.511183737956468)
+	})
+
+	t.Run("fat-tail-pareto", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(0xde1f1))
+		cal, err := evt.Calibrate(dist.Pareto{Xm: 5, Alpha: 3}, 16, 40, 1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cal.ThinTailed {
+			t.Fatalf("golden run flipped to thin-tailed: %+v", cal)
+		}
+		approx(t, "Delta", cal.Delta, 373213.924394341)
+		approx(t, "MeanRange", cal.MeanRange, 12.0910913920914)
+		approx(t, "KSGumbel", cal.KSGumbel, 0.210831996995354)
+		approx(t, "KSFrechet", cal.KSFrechet, 0.116338229444514)
+		f, ok := cal.Fit.(dist.Frechet)
+		if !ok {
+			t.Fatalf("fit type %T, want Frechet", cal.Fit)
+		}
+		approx(t, "Fit.Scale", f.Scale, 8.287552692724116)
+		approx(t, "Fit.Alpha", f.Alpha, 2.5875401796482516)
+	})
+}

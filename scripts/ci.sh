@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Delphi reproduction (see ROADMAP.md).
+#
+# Usage: scripts/ci.sh [-short]
+#   -short   skip the slow experiment-harness tests (internal/bench)
+#
+# Gates, in order: formatting, vet, build, race-enabled tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# A plain string, not an array: expanding an empty array under `set -u`
+# aborts on bash < 4.4 (e.g. macOS system bash 3.2).
+short_flag=""
+if [[ "${1:-}" == "-short" ]]; then
+    short_flag="-short"
+fi
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ${short_flag:+"$short_flag"} ./...
+
+echo "CI OK"
