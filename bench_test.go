@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"delphi/internal/bench"
+	"delphi/internal/core"
 	"delphi/internal/sim"
 )
 
@@ -196,6 +197,43 @@ func BenchmarkAblationCoinCost(b *testing.B) {
 		b.ReportMetric(slow.Latency.Seconds(), "fin_pairing_coin_s")
 		b.ReportMetric(fast.Latency.Seconds(), "fin_hash_coin_s")
 	}
+}
+
+// BenchmarkEngineMatrix measures the parallel trial engine end to end: a
+// scenario grid (input shapes × Byzantine load, two trials each) expanded
+// and fanned across the worker pool. The headline metric is trials/sec —
+// the harness' aggregate throughput, which scales with GOMAXPROCS.
+func BenchmarkEngineMatrix(b *testing.B) {
+	m := bench.Matrix{
+		Base: bench.Scenario{
+			Protocol: bench.ProtoDelphi,
+			N:        16,
+			Env:      sim.AWS(),
+			Params:   delphiBenchParams(),
+			Center:   41000,
+			Delta:    20,
+			ByzKind:  bench.ByzSpam,
+			Trials:   2,
+		},
+		Shapes:    []bench.InputShape{bench.ShapePinned, bench.ShapeClustered},
+		ByzCounts: []int{0, 1},
+	}
+	trials := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.NewEngine(0).RunMatrix(m, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			trials += c.Agg.Trials
+		}
+	}
+	b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func delphiBenchParams() core.Params {
+	return core.Params{S: 0, E: 100000, Rho0: 2, Delta: 256, Eps: 2}
 }
 
 // BenchmarkDelphiNodeStep microbenchmarks one node's message-processing

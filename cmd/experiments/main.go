@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-seed N] [table1 table2 table3
-//	             fig4 fig5 fig6a fig6b fig6c fig7 validity ablations | all]
+//	experiments [-scale quick|paper] [-seed N] [-workers K]
+//	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
+//	             validity tail matrix ablations | all]
 //
 // Quick scale (default) runs reduced node counts and finishes in well under
 // a minute; paper scale uses the paper's axes (n up to 169) and can take
-// tens of minutes on one core.
+// tens of minutes on one core. Trials fan out across bench.Engine's worker
+// pool (GOMAXPROCS workers unless -workers is set); results are identical
+// at any worker count.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"time"
 
 	"delphi/internal/bench"
+	"delphi/internal/core"
+	"delphi/internal/sim"
 )
 
 func main() {
@@ -33,9 +38,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick, medium, or paper")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.SetDefaultWorkers(*workers)
 	var scale bench.Scale
 	switch *scaleFlag {
 	case "quick":
@@ -51,7 +58,8 @@ func run(args []string) error {
 	targets := fs.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
-			"fig6a", "fig6b", "fig6c", "fig7", "validity", "ablations"}
+			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
+			"matrix", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -133,11 +141,58 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 			b.WriteString(r.Text + "\n")
 		}
 		return b.String(), nil
+	case "tail":
+		rep, err := bench.LatencyTail(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return rep.Text, nil
+	case "matrix":
+		return runMatrix(scale, seed)
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, ablations)")
 	}
+}
+
+// runMatrix demonstrates the scenario matrix: Delphi across both testbeds,
+// two system sizes, the three input shapes, and the fault axes, as one
+// engine batch. Each cell is a struct literal away from a new workload.
+func runMatrix(scale bench.Scale, seed int64) (string, error) {
+	ns := []int{16}
+	trials := 2
+	if scale != bench.Quick {
+		ns = []int{16, 40}
+		trials = 4
+	}
+	m := bench.Matrix{
+		Base: bench.Scenario{
+			Protocol: bench.ProtoDelphi,
+			// Table I's parameterisation: Δ=256$ keeps every cell subsecond.
+			Params:  core.Params{S: 0, E: 100000, Rho0: 2, Delta: 256, Eps: 2},
+			Center:  41000,
+			Delta:   20,
+			ByzKind: bench.ByzSpam,
+			Trials:  trials,
+		},
+		Envs:      []sim.Environment{sim.AWS(), sim.CPS()},
+		Ns:        ns,
+		Shapes:    []bench.InputShape{bench.ShapePinned, bench.ShapeSkewed, bench.ShapeClustered},
+		ByzCounts: []int{0, 1},
+	}
+	cells, err := bench.DefaultEngine().RunMatrix(m, seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("scenario matrix — Delphi, mean over trials\n")
+	fmt.Fprintf(&b, "  %-36s %10s %10s %10s\n", "cell", "lat(ms)", "MB", "spread")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "  %-36s %10.0f %10.2f %10.3g\n",
+			c.Scenario.Name, c.Agg.LatencyMS.Mean(), c.Agg.MB.Mean(), c.Agg.Spread.Mean())
+	}
+	return b.String(), nil
 }
 
 func runAblations(seed int64) (string, error) {
@@ -176,5 +231,15 @@ func runAblations(seed int64) (string, error) {
 	fmt.Fprintf(&b, "ablation: FIN coin cost on CPS hardware (n=16)\n")
 	fmt.Fprintf(&b, "  pairing-class coin: %s   hash-class coin: %s\n",
 		slow.Latency.Round(time.Millisecond), fast.Latency.Round(time.Millisecond))
+
+	clean, crashed, byzantine, err := bench.AblationFaults(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: fault load (n=16, δ=20$, f=5)\n")
+	fmt.Fprintf(&b, "  clean: %s %.2fMB   f crashes: %s %.2fMB   f byz spammers: %s %.2fMB\n",
+		clean.Latency.Round(time.Millisecond), float64(clean.TotalBytes)/1e6,
+		crashed.Latency.Round(time.Millisecond), float64(crashed.TotalBytes)/1e6,
+		byzantine.Latency.Round(time.Millisecond), float64(byzantine.TotalBytes)/1e6)
 	return b.String(), nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"delphi/internal/bench"
+)
+
+// TestRunTargetDispatch drives the cheap end of the pipeline: flag
+// parsing, target dispatch, and rendering, without heavy simulation.
+func TestRunTargetDispatch(t *testing.T) {
+	for _, target := range []string{"fig4", "fig5"} {
+		text, err := runTarget(target, bench.Quick, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if !strings.Contains(text, target) {
+			t.Errorf("%s: rendering lacks the figure name:\n%s", target, text)
+		}
+	}
+	if _, err := runTarget("nope", bench.Quick, 1); err == nil {
+		t.Error("unknown target: want error")
+	}
+	if err := run([]string{"-scale", "warp9"}); err == nil {
+		t.Error("bad scale flag: want error")
+	}
+}
+
+// TestPaperScaleSmoke exercises the experiments pipeline at the paper's
+// full sizing end to end — the scale CI never used to touch. Table II
+// (Delphi at n=64 under the three input conditions) is the cheapest
+// paper-scale simulation target; Figs. 4/5 ride along to cover the
+// figure-rendering path at their full (scale-independent) corpus sizes.
+// The test is timed: the engine plus the BinAA hot-path representation
+// keep it well under the budget, and a regression that re-serialises
+// trials or bloats the simulator shows up here first.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale smoke (several seconds per target)")
+	}
+	const budget = 5 * time.Minute
+	start := time.Now()
+	for _, target := range []string{"fig4", "fig5", "table2"} {
+		text, err := runTarget(target, bench.Paper, 1)
+		if err != nil {
+			t.Fatalf("paper-scale %s: %v", target, err)
+		}
+		if strings.TrimSpace(text) == "" {
+			t.Fatalf("paper-scale %s: empty rendering", target)
+		}
+		t.Logf("%s done at %s", target, time.Since(start).Round(time.Millisecond))
+	}
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("paper-scale smoke took %s, budget %s", elapsed.Round(time.Second), budget)
+	}
+}

@@ -10,6 +10,8 @@
 package aba
 
 import (
+	"slices"
+
 	"delphi/internal/coin"
 	"delphi/internal/node"
 	"delphi/internal/wire"
@@ -159,9 +161,18 @@ func NewEngine(cfg node.Config, env node.Env, coins *coin.Source, decide func(ui
 func CoinID(round int) uint64 { return 0x0a0b<<32 | uint64(round) }
 
 // OnCoin must be invoked by the owner when the coin source reveals a coin
-// requested by this engine.
+// requested by this engine. Instances are resumed in slot order: progress
+// broadcasts messages, so iterating the instance map directly would let the
+// emission order — and with it the whole simulated schedule — vary between
+// runs of the same seed.
 func (e *Engine) OnCoin(coinID, value uint64) {
-	for _, x := range e.insts {
+	ids := make([]uint32, 0, len(e.insts))
+	for id := range e.insts {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		x := e.insts[id]
 		if x.started && !x.decided {
 			r := x.round
 			if CoinID(r) == coinID {

@@ -26,21 +26,14 @@ func AblationSingleLevel(n int, seed int64) (single, multi *RunStats, err error)
 	multiParams := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2}
 	singleParams := core.Params{S: 0, E: 100000, Rho0: 2000, Delta: 2000, Eps: 2}
 
-	single, err = Run(RunSpec{
-		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
-		Inputs: inputs, Delphi: singleParams,
-	})
+	stats, err := labelledBatch("ablation", []RunSpec{
+		{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: singleParams},
+		{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: multiParams},
+	}, []string{"single-level", "multi-level"})
 	if err != nil {
-		return nil, nil, fmt.Errorf("ablation single-level: %w", err)
+		return nil, nil, err
 	}
-	multi, err = Run(RunSpec{
-		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
-		Inputs: inputs, Delphi: multiParams,
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("ablation multi-level: %w", err)
-	}
-	return single, multi, nil
+	return stats[0], stats[1], nil
 }
 
 // EpsRow is one ε setting's measurement in the AblationEps sweep.
@@ -63,20 +56,28 @@ type EpsRow struct {
 // round (r_M = ceil(log2(1/ε'))) and must tighten the measured spread.
 func AblationEps(n int, seed int64) ([]*EpsRow, error) {
 	f := faults(n)
-	var rows []*EpsRow
-	for _, eps := range []float64{16, 8, 4, 2, 1} {
-		p := core.Params{S: 0, E: 100000, Rho0: eps, Delta: 2048, Eps: eps}
-		st, err := Run(RunSpec{
+	epss := []float64{16, 8, 4, 2, 1}
+	var specs []RunSpec
+	var labels []string
+	params := make([]core.Params, len(epss))
+	for i, eps := range epss {
+		params[i] = core.Params{S: 0, E: 100000, Rho0: eps, Delta: 2048, Eps: eps}
+		specs = append(specs, RunSpec{
 			Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
-			Inputs: OracleInputs(n, 41000, 20, seed), Delphi: p,
+			Inputs: OracleInputs(n, 41000, 20, seed), Delphi: params[i],
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ablation eps=%g: %w", eps, err)
-		}
+		labels = append(labels, fmt.Sprintf("eps=%g", eps))
+	}
+	stats, err := labelledBatch("ablation", specs, labels)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*EpsRow
+	for i, st := range stats {
 		rows = append(rows, &EpsRow{
-			Name:      fmt.Sprintf("eps=%g", eps),
-			Eps:       eps,
-			Rounds:    p.Rounds(n),
+			Name:      labels[i],
+			Eps:       epss[i],
+			Rounds:    params[i].Rounds(n),
 			Spread:    st.Spread,
 			LatencyMS: float64(st.Latency.Milliseconds()),
 			MB:        float64(st.TotalBytes) / 1e6,
@@ -92,20 +93,14 @@ func AblationCompression(n int, seed int64) (compressed, plain *RunStats, err er
 	f := faults(n)
 	inputs := OracleInputs(n, 41000, 20, seed)
 	p := oracleParamsBandwidth()
-	compressed, err = Run(RunSpec{
-		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p,
-	})
+	stats, err := labelledBatch("ablation", []RunSpec{
+		{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p},
+		{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p, NoCompression: true},
+	}, []string{"compression on", "compression off"})
 	if err != nil {
-		return nil, nil, fmt.Errorf("ablation compression on: %w", err)
+		return nil, nil, err
 	}
-	plain, err = Run(RunSpec{
-		Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p,
-		NoCompression: true,
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("ablation compression off: %w", err)
-	}
-	return compressed, plain, nil
+	return stats[0], stats[1], nil
 }
 
 // AblationCoinCost runs the FIN baseline on CPS-grade hardware under the
@@ -118,19 +113,45 @@ func AblationCoinCost(n int, seed int64) (pairingCoin, hashCoin *RunStats, err e
 	p := cpsParams()
 
 	envSlow := sim.CPS()
-	pairingCoin, err = Run(RunSpec{
-		Protocol: ProtoFIN, N: n, F: f, Env: envSlow, Seed: seed, Inputs: inputs, Delphi: p,
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("ablation pairing coin: %w", err)
-	}
 	envFast := sim.CPS()
 	envFast.Cost.Pairing = envFast.Cost.Hash // hash-based coin shares
-	hashCoin, err = Run(RunSpec{
-		Protocol: ProtoFIN, N: n, F: f, Env: envFast, Seed: seed, Inputs: inputs, Delphi: p,
-	})
+	stats, err := labelledBatch("ablation", []RunSpec{
+		{Protocol: ProtoFIN, N: n, F: f, Env: envSlow, Seed: seed, Inputs: inputs, Delphi: p},
+		{Protocol: ProtoFIN, N: n, F: f, Env: envFast, Seed: seed, Inputs: inputs, Delphi: p},
+	}, []string{"pairing coin", "hash coin"})
 	if err != nil {
-		return nil, nil, fmt.Errorf("ablation hash coin: %w", err)
+		return nil, nil, err
 	}
-	return pairingCoin, hashCoin, nil
+	return stats[0], stats[1], nil
+}
+
+// AblationFaults measures Delphi under its full fault budget: a clean run,
+// f crash faults, and f Byzantine spammers on identical inputs — the
+// scenario-matrix fault axes applied as a designed ablation. Crash faults
+// shrink the echo quorums' slack; the spammer bloats state and traffic.
+func AblationFaults(n int, seed int64) (clean, crashed, byzantine *RunStats, err error) {
+	f := faults(n)
+	base := Scenario{
+		Name:     "faults",
+		Protocol: ProtoDelphi,
+		N:        n,
+		Env:      sim.AWS(),
+		Params:   oracleParamsBandwidth(),
+		Center:   41000,
+		Delta:    20,
+	}
+	crash := base
+	crash.Crashes = f
+	byzant := base
+	byzant.Byzantine = f
+	byzant.ByzKind = ByzSpam
+	stats, err := labelledBatch("ablation", []RunSpec{
+		base.Spec(seed, 0),
+		crash.Spec(seed, 0),
+		byzant.Spec(seed, 0),
+	}, []string{"clean", "crash", "byzantine"})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return stats[0], stats[1], stats[2], nil
 }

@@ -30,21 +30,33 @@ type FitReport struct {
 	Text string
 }
 
+// scoreFits computes each candidate's KS statistic against the samples and
+// returns the index of the lowest-KS (winning) candidate, or -1 if none
+// scores (an all-NaN KS must not count as a perfect fit).
+func scoreFits(samples []float64, cands []dist.Distribution) (ks []float64, bestIdx int) {
+	bestIdx = -1
+	bestKS := 2.0
+	for i, c := range cands {
+		k := dist.KS(samples, c)
+		ks = append(ks, k)
+		if k < bestKS {
+			bestIdx, bestKS = i, k
+		}
+	}
+	return ks, bestIdx
+}
+
 func buildFitReport(name string, samples []float64, hmin, hmax float64, bins int, cands []dist.Distribution) *FitReport {
 	r := &FitReport{Name: name, Fits: cands}
 	r.Histogram = dist.NewHistogram(samples, hmin, hmax, bins)
 	r.MeanValue, _ = dist.Moments(samples)
-	best, bestKS := "", 2.0
-	for _, c := range cands {
-		ks := dist.KS(samples, c)
-		r.KS = append(r.KS, ks)
-		if ks < bestKS {
-			best, bestKS = c.Name(), ks
-		}
+	var bestIdx int
+	r.KS, bestIdx = scoreFits(samples, cands)
+	if bestIdx >= 0 {
+		r.Best = cands[bestIdx].Name()
 	}
-	r.Best = best
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — mean=%.3f best-fit=%s\n", name, r.MeanValue, best)
+	fmt.Fprintf(&b, "%s — mean=%.3f best-fit=%s\n", name, r.MeanValue, r.Best)
 	for i, c := range cands {
 		fmt.Fprintf(&b, "  %-10s KS=%.4f %+v\n", c.Name(), r.KS[i], c)
 	}
@@ -56,12 +68,12 @@ func buildFitReport(name string, samples []float64, hmin, hmax float64, bins int
 // Fig4 reproduces the Bitcoin price-range study: two weeks of synthetic
 // ten-exchange quotes, the per-minute δ histogram, and the Fréchet-vs-Gumbel
 // extreme-value fits (the paper finds Fréchet α=4.41, scale 29.3 wins).
+// The sample corpus is drawn from the shared per-seed cache (corpus.go).
 func Fig4(seed int64) (*FitReport, error) {
-	m, err := feeds.NewMarket(feeds.DefaultConfig(), seed)
+	ranges, err := Fig4Ranges(seed)
 	if err != nil {
 		return nil, err
 	}
-	ranges := feeds.Ranges(m.Collect(feeds.TwoWeeks))
 	var cands []dist.Distribution
 	if fre, err := dist.FitFrechet(ranges); err == nil {
 		cands = append(cands, fre)
@@ -71,14 +83,13 @@ func Fig4(seed int64) (*FitReport, error) {
 }
 
 // Fig5 reproduces the IoU study: 80 000 synthetic detections, the IoU
-// histogram, and the Gamma-vs-Fréchet fits (Gamma wins, mean 0.87).
+// histogram, and the Gamma-vs-Fréchet fits (Gamma wins, mean 0.87). The
+// sample corpus is drawn from the shared per-seed cache (corpus.go).
 func Fig5(seed int64) (*FitReport, error) {
-	model := vision.DefaultModel()
-	if err := model.Validate(); err != nil {
+	ious, err := Fig5IoUs(seed)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	ious := model.SampleIoUs(80000, rng)
 	cands := []dist.Distribution{dist.FitGamma(ious)}
 	if fre, err := dist.FitFrechet(ious); err == nil {
 		cands = append(cands, fre)
@@ -106,6 +117,7 @@ type ValidityReport struct {
 // realistic inputs per application, measuring how far Delphi's and FIN's
 // outputs sit from the honest mean. The paper reports Delphi ≈2x the
 // baseline's distance (25$ vs 12.5$ on the oracle; 2.6m vs 1.3m on drones).
+// All trials of both applications run as one engine batch.
 func Validity(scale Scale, seed int64) ([]*ValidityReport, error) {
 	trials := 3
 	n := 16
@@ -149,9 +161,12 @@ func Validity(scale Scale, seed int64) ([]*ValidityReport, error) {
 		},
 	}
 
-	var reports []*ValidityReport
-	for _, app := range apps {
-		rep := &ValidityReport{App: app.name}
+	// Expand every (app, trial) into a Delphi and a FIN spec, batch them
+	// all, then fold per-app aggregates.
+	var specs []RunSpec
+	var labels []string
+	deltaMeans := make([]float64, len(apps))
+	for ai, app := range apps {
 		for t := 0; t < trials; t++ {
 			inputs := app.inputs(int64(t))
 			lo, hi := inputs[0], inputs[0]
@@ -163,30 +178,104 @@ func Validity(scale Scale, seed int64) ([]*ValidityReport, error) {
 					hi = v
 				}
 			}
-			rep.DeltaMean += hi - lo
-			dst, err := Run(RunSpec{
-				Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(),
-				Seed: seed + int64(t), Inputs: inputs, Delphi: app.params,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("validity %s delphi: %w", app.name, err)
+			deltaMeans[ai] += hi - lo
+			for _, proto := range []Protocol{ProtoDelphi, ProtoFIN} {
+				specs = append(specs, RunSpec{
+					Protocol: proto, N: n, F: f, Env: sim.AWS(),
+					Seed: seed + int64(t), Inputs: inputs, Delphi: app.params,
+				})
+				labels = append(labels, fmt.Sprintf("%s %s trial %d", app.name, proto, t))
 			}
-			fst, err := Run(RunSpec{
-				Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(),
-				Seed: seed + int64(t), Inputs: inputs, Delphi: app.params,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("validity %s fin: %w", app.name, err)
-			}
-			rep.DelphiErr += dst.MeanAbsErr
-			rep.BaselineErr += fst.MeanAbsErr
+		}
+	}
+	stats, err := labelledBatch("validity", specs, labels)
+	if err != nil {
+		return nil, err
+	}
+
+	var reports []*ValidityReport
+	for ai, app := range apps {
+		rep := &ValidityReport{App: app.name, DeltaMean: deltaMeans[ai] / float64(trials)}
+		base := ai * trials * 2
+		for t := 0; t < trials; t++ {
+			rep.DelphiErr += stats[base+2*t].MeanAbsErr
+			rep.BaselineErr += stats[base+2*t+1].MeanAbsErr
 		}
 		rep.DelphiErr /= float64(trials)
 		rep.BaselineErr /= float64(trials)
-		rep.DeltaMean /= float64(trials)
 		rep.Text = fmt.Sprintf("%-8s mean δ=%.3f  |Delphi−mean|=%.3f  |FIN−mean|=%.3f  ratio=%.2f",
 			rep.App, rep.DeltaMean, rep.DelphiErr, rep.BaselineErr, rep.DelphiErr/rep.BaselineErr)
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// TailReport is the latency-tail analysis: the protocol's per-trial
+// completion latencies over many seeds, with Gumbel-vs-Fréchet extreme-
+// value fits in the style of the paper's Fig. 4 methodology applied to the
+// harness' own measurements.
+type TailReport struct {
+	// Scenario is the measured workload.
+	Scenario Scenario
+	// Agg holds the streaming summary (latency samples retained).
+	Agg *Aggregate
+	// Fits and KS hold the candidate tail fits and their KS statistics.
+	Fits []dist.Distribution
+	KS   []float64
+	// Best names the winning fit.
+	Best string
+	// P99 is the winning fit's 0.99 quantile (milliseconds).
+	P99 float64
+	// Text is the rendered summary.
+	Text string
+}
+
+// LatencyTail measures Delphi's completion-latency distribution over many
+// trials of the oracle workload and fits the candidate extreme-value
+// models to it. Scale selects the trial count and parameterisation:
+// Quick uses Table I's Δ=256$ sizing so the sweep stays subsecond per
+// trial; Paper uses the full Fig. 6b oracle parameterisation.
+func LatencyTail(scale Scale, seed int64) (*TailReport, error) {
+	trials := 12
+	n := 16
+	params := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 256, Eps: 2}
+	if scale == Paper {
+		trials = 48
+		n = 40
+		params = oracleParamsBandwidth()
+	}
+	sc := Scenario{
+		Name:     "latency-tail",
+		Protocol: ProtoDelphi,
+		N:        n,
+		Env:      sim.AWS(),
+		Params:   params,
+		Center:   41000,
+		Delta:    20,
+		Trials:   trials,
+	}
+	res, err := defaultEngine.RunScenario(sc, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	samples := res.Agg.LatencyMS.Samples
+	rep := &TailReport{Scenario: sc, Agg: res.Agg}
+	if fre, err := dist.FitFrechet(samples); err == nil {
+		rep.Fits = append(rep.Fits, fre)
+	}
+	rep.Fits = append(rep.Fits, dist.FitGumbel(samples))
+	var bestIdx int
+	rep.KS, bestIdx = scoreFits(samples, rep.Fits)
+	if bestIdx >= 0 {
+		rep.Best = rep.Fits[bestIdx].Name()
+		rep.P99 = rep.Fits[bestIdx].Quantile(0.99)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency tail — %s n=%d trials=%d: mean=%.1fms max=%.1fms best-fit=%s p99=%.1fms\n",
+		sc.Protocol, sc.N, trials, res.Agg.LatencyMS.Mean(), res.Agg.LatencyMS.Max(), rep.Best, rep.P99)
+	for i, c := range rep.Fits {
+		fmt.Fprintf(&b, "  %-10s KS=%.4f %+v\n", c.Name(), rep.KS[i], c)
+	}
+	rep.Text = b.String()
+	return rep, nil
 }

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+
+	"delphi/internal/feeds"
+	"delphi/internal/vision"
+)
+
+// The Fig. 4/5 sample corpora are the most expensive non-simulation inputs
+// the harness generates (two weeks of synthetic market minutes; 80 000
+// synthetic detections). The figure builders, the EVT analyses, the test
+// suite, and the benchmarks all draw the same corpora at the same seeds, so
+// generation is memoized per seed: one corpus, shared by every path.
+var corpusCache struct {
+	mu   sync.Mutex
+	fig4 map[int64][]float64
+	fig5 map[int64][]float64
+}
+
+// Fig4Ranges returns the per-minute Bitcoin range-δ corpus for the seed:
+// two weeks of synthetic ten-exchange quotes reduced to ranges. The result
+// is cached; callers must not mutate it.
+func Fig4Ranges(seed int64) ([]float64, error) {
+	corpusCache.mu.Lock()
+	defer corpusCache.mu.Unlock()
+	if r, ok := corpusCache.fig4[seed]; ok {
+		return r, nil
+	}
+	m, err := feeds.NewMarket(feeds.DefaultConfig(), seed)
+	if err != nil {
+		return nil, err
+	}
+	ranges := feeds.Ranges(m.Collect(feeds.TwoWeeks))
+	if corpusCache.fig4 == nil {
+		corpusCache.fig4 = make(map[int64][]float64)
+	}
+	corpusCache.fig4[seed] = ranges
+	return ranges, nil
+}
+
+// Fig5IoUs returns the detection-IoU corpus for the seed: 80 000 synthetic
+// detections under the default vision model. The result is cached; callers
+// must not mutate it.
+func Fig5IoUs(seed int64) ([]float64, error) {
+	corpusCache.mu.Lock()
+	defer corpusCache.mu.Unlock()
+	if s, ok := corpusCache.fig5[seed]; ok {
+		return s, nil
+	}
+	model := vision.DefaultModel()
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ious := model.SampleIoUs(80000, rng)
+	if corpusCache.fig5 == nil {
+		corpusCache.fig5 = make(map[int64][]float64)
+	}
+	corpusCache.fig5[seed] = ious
+	return ious, nil
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine is the harness' parallel trial runner: it fans batches of RunSpecs
+// across a fixed worker pool. Every trial is an independent, deterministic
+// function of its spec (the simulator derives all randomness from the
+// spec's seed), so results are byte-identical to running the same specs
+// sequentially through Run — the engine only changes wall-clock, never
+// measurements. The zero value is ready to use.
+type Engine struct {
+	// Workers bounds the number of concurrent trials; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// NewEngine returns an engine with the given worker count (<= 0 for
+// GOMAXPROCS).
+func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+
+func (e *Engine) workers() int {
+	if e != nil && e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// defaultEngine runs the package-level experiment entry points. Callers that
+// need a different worker count construct their own Engine.
+var defaultEngine = &Engine{}
+
+// TrialError attaches the failing trial's batch index to its error.
+type TrialError struct {
+	// Index is the spec's position in the batch.
+	Index int
+	// Err is the underlying Run error.
+	Err error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string { return fmt.Sprintf("trial %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// RunBatch executes every spec and returns the results in spec order. On
+// failure it returns the *TrialError of the lowest-indexed failing spec —
+// the same error a sequential loop would hit first, independent of worker
+// count or completion order.
+func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
+	out := make([]*RunStats, len(specs))
+	errs := make([]error, len(specs))
+	w := e.workers()
+	if w > len(specs) {
+		w = len(specs)
+	}
+	if w <= 1 {
+		for i := range specs {
+			st, err := Run(specs[i])
+			if err != nil {
+				return nil, &TrialError{Index: i, Err: err}
+			}
+			out[i] = st
+		}
+		return out, nil
+	}
+	next := make(chan int)
+	// minFail tracks the lowest failing index seen so far. A failed batch
+	// discards every result, so trials above a known failure are skipped —
+	// but trials below it must still run, so the reported error is always
+	// the same one a sequential loop would hit first.
+	var minFail atomic.Int64
+	minFail.Store(int64(len(specs)))
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if int64(i) > minFail.Load() {
+					continue
+				}
+				out[i], errs[i] = Run(specs[i])
+				if errs[i] != nil {
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &TrialError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// SetDefaultWorkers bounds the worker pool used by the package-level
+// experiment entry points (Fig6a, Table1, ...); <= 0 restores GOMAXPROCS.
+// It is not safe to call concurrently with running experiments.
+func SetDefaultWorkers(n int) { defaultEngine.Workers = n }
+
+// DefaultEngine returns the shared engine the package-level experiment
+// entry points run on (sized by SetDefaultWorkers), for callers composing
+// their own scenarios under the same worker budget.
+func DefaultEngine() *Engine { return defaultEngine }
+
+// TrialSeed derives trial i's simulation seed from a base seed. The
+// derivation is a splitmix64 step — deterministic, order-free, and
+// well-dispersed, so trial seeds never collide with the consecutive
+// base+i seeds the callers use for distinct experiments.
+func TrialSeed(base int64, trial int) int64 {
+	z := uint64(base) + uint64(trial+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunTrials executes trials copies of base, with trial i's seed derived as
+// TrialSeed(base.Seed, i), and returns the per-trial results in order.
+func (e *Engine) RunTrials(base RunSpec, trials int) ([]*RunStats, error) {
+	specs := make([]RunSpec, trials)
+	for i := range specs {
+		specs[i] = base
+		specs[i].Seed = TrialSeed(base.Seed, i)
+	}
+	return e.RunBatch(specs)
+}
+
+// Stream accumulates a scalar series with Welford's online algorithm: one
+// pass, O(1) state for the moments, with optional retention of the raw
+// samples (the EVT fits for the Fig. 4/5-style tail analyses need the full
+// sample set; plain latency/bandwidth summaries do not).
+type Stream struct {
+	// KeepSamples retains every observed value in Samples when set before
+	// the first Add.
+	KeepSamples bool
+	// Samples holds the observations when KeepSamples is set.
+	Samples []float64
+
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add feeds one observation.
+func (s *Stream) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	if s.KeepSamples {
+		s.Samples = append(s.Samples, v)
+	}
+}
+
+// N returns the observation count.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the running mean (NaN before any observation).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the running sample variance (NaN below two observations).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the observed extremes (NaN before any observation).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation.
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Aggregate is the streaming summary of a trial series: per-metric online
+// moments, built incrementally so a million-trial sweep never holds more
+// than one RunStats at a time.
+type Aggregate struct {
+	// Trials is the number of aggregated runs.
+	Trials int
+	// LatencyMS, MB, Spread, and AbsErr summarise the headline metrics
+	// (latency in milliseconds, traffic in megabytes).
+	LatencyMS Stream
+	MB        Stream
+	Spread    Stream
+	AbsErr    Stream
+	// TotalMsgs counts messages across all trials.
+	TotalMsgs int
+}
+
+// NewAggregate returns an aggregate; keepSamples retains per-trial latency
+// samples for tail (EVT) fitting.
+func NewAggregate(keepSamples bool) *Aggregate {
+	a := &Aggregate{}
+	a.LatencyMS.KeepSamples = keepSamples
+	return a
+}
+
+// Observe folds one trial into the aggregate.
+func (a *Aggregate) Observe(st *RunStats) {
+	a.Trials++
+	a.LatencyMS.Add(float64(st.Latency) / float64(time.Millisecond))
+	a.MB.Add(float64(st.TotalBytes) / 1e6)
+	a.Spread.Add(st.Spread)
+	a.AbsErr.Add(st.MeanAbsErr)
+	a.TotalMsgs += st.TotalMsgs
+}

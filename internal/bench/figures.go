@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -111,108 +112,112 @@ func cpsNodeCounts(scale Scale) []int {
 
 func faults(n int) int { return (n - 1) / 3 }
 
-// Fig6a reproduces "Runtime vs n on AWS": Delphi at δ=20$ and δ=180$, FIN,
-// and Abraham et al. at δ=20$, as milliseconds of virtual latency.
-func Fig6a(scale Scale, seed int64) (*Figure, error) {
-	ns := awsNodeCounts(scale)
-	p := oracleParams()
+// labelledBatch runs the specs through the shared engine, re-labelling a
+// failed trial with its experiment-level label.
+func labelledBatch(name string, specs []RunSpec, labels []string) ([]*RunStats, error) {
+	stats, err := defaultEngine.RunBatch(specs)
+	if err != nil {
+		var te *TrialError
+		if errors.As(err, &te) && te.Index < len(labels) {
+			return nil, fmt.Errorf("%s %s: %w", name, labels[te.Index], te.Err)
+		}
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return stats, nil
+}
+
+// fig6Axes describes one Fig. 6 panel: the testbed, node counts, Delphi
+// parameterisation, input placement, and the measured metric.
+type fig6Axes struct {
+	name, title string
+	env         sim.Environment
+	ns          []int
+	params      core.Params
+	center      float64
+	deltaSmall  float64
+	deltaLarge  float64
+	labelSmall  string
+	labelLarge  string
+	metric      func(*RunStats) float64
+}
+
+// fig6 builds one Fig. 6 panel: Delphi at two input ranges, FIN, and
+// Abraham et al. at the small range, swept over the node counts. All runs
+// of the whole panel form one engine batch.
+func fig6(a fig6Axes, seed int64) (*Figure, error) {
 	series := []Series{
-		{Label: "Delphi δ=20$"},
-		{Label: "Delphi δ=180$"},
+		{Label: "Delphi " + a.labelSmall},
+		{Label: "Delphi " + a.labelLarge},
 		{Label: "FIN"},
-		{Label: "Abraham et al. δ=20$"},
+		{Label: "Abraham et al. " + a.labelSmall},
 	}
-	for _, n := range ns {
+	var specs []RunSpec
+	var labels []string
+	for _, n := range a.ns {
 		f := faults(n)
-		in20 := OracleInputs(n, 41000, 20, seed)
-		in180 := OracleInputs(n, 41000, 180, seed+1)
-		runs := []RunSpec{
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in180, Delphi: p},
-			{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-		}
-		for i, spec := range runs {
-			st, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig6a n=%d %s: %w", n, spec.Protocol, err)
-			}
-			series[i].X = append(series[i].X, float64(n))
-			series[i].Y = append(series[i].Y, float64(st.Latency)/float64(time.Millisecond))
+		inSmall := OracleInputs(n, a.center, a.deltaSmall, seed)
+		inLarge := OracleInputs(n, a.center, a.deltaLarge, seed+1)
+		for i, spec := range []RunSpec{
+			{Protocol: ProtoDelphi, N: n, F: f, Env: a.env, Seed: seed, Inputs: inSmall, Delphi: a.params},
+			{Protocol: ProtoDelphi, N: n, F: f, Env: a.env, Seed: seed, Inputs: inLarge, Delphi: a.params},
+			{Protocol: ProtoFIN, N: n, F: f, Env: a.env, Seed: seed, Inputs: inSmall, Delphi: a.params},
+			{Protocol: ProtoAbraham, N: n, F: f, Env: a.env, Seed: seed, Inputs: inSmall, Delphi: a.params},
+		} {
+			specs = append(specs, spec)
+			labels = append(labels, fmt.Sprintf("n=%d %s", n, series[i].Label))
 		}
 	}
-	fig := &Figure{Name: "fig6a", Title: "Runtime vs n on AWS (ms)", Series: series}
+	stats, err := labelledBatch(a.name, specs, labels)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range stats {
+		n := a.ns[k/4]
+		s := &series[k%4]
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, a.metric(st))
+	}
+	fig := &Figure{Name: a.name, Title: a.title, Series: series}
 	renderFigure(fig, "protocol", "n")
 	return fig, nil
 }
 
+func latencyMS(st *RunStats) float64 { return float64(st.Latency) / float64(time.Millisecond) }
+func trafficMB(st *RunStats) float64 { return float64(st.TotalBytes) / 1e6 }
+
+// Fig6a reproduces "Runtime vs n on AWS": Delphi at δ=20$ and δ=180$, FIN,
+// and Abraham et al. at δ=20$, as milliseconds of virtual latency.
+func Fig6a(scale Scale, seed int64) (*Figure, error) {
+	return fig6(fig6Axes{
+		name: "fig6a", title: "Runtime vs n on AWS (ms)",
+		env: sim.AWS(), ns: awsNodeCounts(scale), params: oracleParams(),
+		center: 41000, deltaSmall: 20, deltaLarge: 180,
+		labelSmall: "δ=20$", labelLarge: "δ=180$",
+		metric: latencyMS,
+	}, seed)
+}
+
 // Fig6b reproduces "Network bandwidth vs n on AWS" in megabytes.
 func Fig6b(scale Scale, seed int64) (*Figure, error) {
-	ns := awsNodeCounts(scale)
-	p := oracleParamsBandwidth()
-	series := []Series{
-		{Label: "Delphi δ=20$"},
-		{Label: "Delphi δ=180$"},
-		{Label: "FIN"},
-		{Label: "Abraham et al. δ=20$"},
-	}
-	for _, n := range ns {
-		f := faults(n)
-		in20 := OracleInputs(n, 41000, 20, seed)
-		in180 := OracleInputs(n, 41000, 180, seed+1)
-		runs := []RunSpec{
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in180, Delphi: p},
-			{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: in20, Delphi: p},
-		}
-		for i, spec := range runs {
-			st, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig6b n=%d %s: %w", n, spec.Protocol, err)
-			}
-			series[i].X = append(series[i].X, float64(n))
-			series[i].Y = append(series[i].Y, float64(st.TotalBytes)/1e6)
-		}
-	}
-	fig := &Figure{Name: "fig6b", Title: "Bandwidth vs n on AWS (MB)", Series: series}
-	renderFigure(fig, "protocol", "n")
-	return fig, nil
+	return fig6(fig6Axes{
+		name: "fig6b", title: "Bandwidth vs n on AWS (MB)",
+		env: sim.AWS(), ns: awsNodeCounts(scale), params: oracleParamsBandwidth(),
+		center: 41000, deltaSmall: 20, deltaLarge: 180,
+		labelSmall: "δ=20$", labelLarge: "δ=180$",
+		metric: trafficMB,
+	}, seed)
 }
 
 // Fig6c reproduces "Runtime vs n on the embedded (CPS) testbed": Delphi at
 // δ=5m and δ=50m, FIN, Abraham et al. at δ=5m, in milliseconds.
 func Fig6c(scale Scale, seed int64) (*Figure, error) {
-	ns := cpsNodeCounts(scale)
-	p := cpsParams()
-	series := []Series{
-		{Label: "Delphi δ=5m"},
-		{Label: "Delphi δ=50m"},
-		{Label: "FIN"},
-		{Label: "Abraham et al. δ=5m"},
-	}
-	for _, n := range ns {
-		f := faults(n)
-		in5 := OracleInputs(n, 500, 5, seed)
-		in50 := OracleInputs(n, 500, 50, seed+1)
-		runs := []RunSpec{
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
-			{Protocol: ProtoDelphi, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in50, Delphi: p},
-			{Protocol: ProtoFIN, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
-			{Protocol: ProtoAbraham, N: n, F: f, Env: sim.CPS(), Seed: seed, Inputs: in5, Delphi: p},
-		}
-		for i, spec := range runs {
-			st, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig6c n=%d %s: %w", n, spec.Protocol, err)
-			}
-			series[i].X = append(series[i].X, float64(n))
-			series[i].Y = append(series[i].Y, float64(st.Latency)/float64(time.Millisecond))
-		}
-	}
-	fig := &Figure{Name: "fig6c", Title: "Runtime vs n on CPS testbed (ms)", Series: series}
-	renderFigure(fig, "protocol", "n")
-	return fig, nil
+	return fig6(fig6Axes{
+		name: "fig6c", title: "Runtime vs n on CPS testbed (ms)",
+		env: sim.CPS(), ns: cpsNodeCounts(scale), params: cpsParams(),
+		center: 500, deltaSmall: 5, deltaLarge: 50,
+		labelSmall: "δ=5m", labelLarge: "δ=50m",
+		metric: latencyMS,
+	}, seed)
 }
 
 // Heatmap is the Fig. 7 result: runtime seconds over the
@@ -259,26 +264,37 @@ func Fig7(scale Scale, seed int64) (awsMap, cpsMap *Heatmap, err error) {
 func heatmap(name string, env sim.Environment, n int, eps float64, agr, rng []float64, e, center float64, seed int64) (*Heatmap, error) {
 	h := &Heatmap{Env: name, AgreementRatios: agr, RangeRatios: rng}
 	f := faults(n)
-	for _, ar := range agr {
-		row := make([]float64, 0, len(rng))
-		for _, rr := range rng {
+	// Expand the feasible cells into one batch, remembering each spec's
+	// grid position.
+	type cell struct{ i, j int }
+	var specs []RunSpec
+	var labels []string
+	var cells []cell
+	h.Seconds = make([][]float64, len(agr))
+	for i, ar := range agr {
+		h.Seconds[i] = make([]float64, len(rng))
+		for j, rr := range rng {
 			p := core.Params{S: 0, E: e, Rho0: eps, Delta: ar * eps, Eps: eps}
 			delta := rr * p.Rho0
 			if delta > p.Delta {
-				row = append(row, math.NaN())
+				h.Seconds[i][j] = math.NaN()
 				continue
 			}
-			st, err := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Protocol: ProtoDelphi, N: n, F: f, Env: env, Seed: seed,
 				Inputs: OracleInputs(n, center, delta, seed+int64(ar)+int64(rr)),
 				Delphi: p,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s Δ/ε=%g δ/ρ0=%g: %w", name, ar, rr, err)
-			}
-			row = append(row, st.Latency.Seconds())
+			labels = append(labels, fmt.Sprintf("%s Δ/ε=%g δ/ρ0=%g", name, ar, rr))
+			cells = append(cells, cell{i, j})
 		}
-		h.Seconds = append(h.Seconds, row)
+	}
+	stats, err := labelledBatch("fig7", specs, labels)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range stats {
+		h.Seconds[cells[k].i][cells[k].j] = st.Latency.Seconds()
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "fig7 (%s, n=%d) — runtime seconds; rows Δ/ε, cols δ/ρ0\n%10s", name, n, "")

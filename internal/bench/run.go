@@ -12,6 +12,8 @@ import (
 
 	"delphi/internal/aaa"
 	"delphi/internal/acs"
+	"delphi/internal/binaa"
+	"delphi/internal/byz"
 	"delphi/internal/core"
 	"delphi/internal/node"
 	"delphi/internal/sim"
@@ -51,7 +53,30 @@ type RunSpec struct {
 	Rounds int
 	// NoCompression disables Delphi's §II-C wire encoding (ablation).
 	NoCompression bool
+	// Byzantine replaces the highest Byzantine slots with actively
+	// adversarial processes (their Inputs entries are ignored). Byzantine
+	// nodes are excluded from the honest statistics, like crashed nodes.
+	Byzantine int
+	// ByzKind selects the adversarial behaviour; the zero value is a mute
+	// (crash-at-zero) node. The active behaviours attack Delphi's BinAA
+	// layer and degrade to mute under the other protocols.
+	ByzKind ByzKind
 }
+
+// ByzKind names a Byzantine behaviour for RunSpec.Byzantine slots.
+type ByzKind int
+
+// The available Byzantine behaviours.
+const (
+	// ByzMute crashes at time zero (participates in nothing).
+	ByzMute ByzKind = iota
+	// ByzSpam floods checkpoint instances near the honest inputs with junk
+	// echoes (Delphi only; mute elsewhere).
+	ByzSpam
+	// ByzEquivocate sends conflicting round-1 init bundles to the two
+	// halves of the network (Delphi only; mute elsewhere).
+	ByzEquivocate
+)
 
 // RunStats summarises a protocol execution.
 type RunStats struct {
@@ -85,11 +110,56 @@ func (s RunSpec) defaultRounds() int {
 	return r
 }
 
+// byzSlot reports whether slot i hosts a Byzantine process.
+func (s RunSpec) byzSlot(i int) bool {
+	return s.Byzantine > 0 && i >= s.N-s.Byzantine
+}
+
+// byzProcess builds the adversarial process for slot i. The active
+// behaviours speak BinAA, so they only apply to Delphi runs; under the
+// baselines a Byzantine node degrades to a mute (crashed) node, the
+// strongest protocol-agnostic fault the harness can inject.
+func (s RunSpec) byzProcess(i int) node.Process {
+	if s.Protocol != ProtoDelphi {
+		return &byz.Mute{}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j, v := range s.Inputs {
+		if !math.IsNaN(v) && !s.byzSlot(j) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	switch s.ByzKind {
+	case ByzSpam:
+		kmin := int32(math.Floor(lo/s.Delphi.Rho0)) - 8
+		kmax := int32(math.Ceil(hi/s.Delphi.Rho0)) + 8
+		return &byz.Spammer{
+			Rng:      rand.New(rand.NewSource(TrialSeed(s.Seed, 1000+i))),
+			Levels:   s.Delphi.Levels(),
+			KMin:     kmin,
+			KMax:     kmax,
+			PerRound: 4,
+		}
+	case ByzEquivocate:
+		return &byz.Equivocator{
+			CheckA: binaa.IID{Level: 0, K: int32(math.Floor(lo / s.Delphi.Rho0))},
+			CheckB: binaa.IID{Level: 0, K: int32(math.Ceil(hi / s.Delphi.Rho0))},
+		}
+	default:
+		return &byz.Mute{}
+	}
+}
+
 // Run executes the spec in the simulator.
 func Run(spec RunSpec) (*RunStats, error) {
 	cfg := node.Config{N: spec.N, F: spec.F}
 	procs := make([]node.Process, spec.N)
 	for i, v := range spec.Inputs {
+		if spec.byzSlot(i) {
+			procs[i] = spec.byzProcess(i)
+			continue
+		}
 		if math.IsNaN(v) {
 			continue
 		}
@@ -127,8 +197,8 @@ func Run(spec RunSpec) (*RunStats, error) {
 	stats := &RunStats{TotalBytes: res.TotalBytes, TotalMsgs: res.TotalMsgs}
 	var honestSum float64
 	var honestCount int
-	for _, v := range spec.Inputs {
-		if !math.IsNaN(v) {
+	for i, v := range spec.Inputs {
+		if !math.IsNaN(v) && !spec.byzSlot(i) {
 			honestSum += v
 			honestCount++
 		}
@@ -136,7 +206,7 @@ func Run(spec RunSpec) (*RunStats, error) {
 	honestMean := honestSum / float64(honestCount)
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for i := range procs {
-		if procs[i] == nil {
+		if procs[i] == nil || spec.byzSlot(i) {
 			continue
 		}
 		st := res.Stats[i]
@@ -157,10 +227,13 @@ func Run(spec RunSpec) (*RunStats, error) {
 		stats.SigVerifies += st.Compute.SigVerifies
 		stats.Pairings += st.Compute.Pairings
 	}
-	stats.Spread = hi - lo
-	if len(stats.Outputs) > 0 {
-		stats.MeanAbsErr /= float64(len(stats.Outputs))
+	if len(stats.Outputs) == 0 {
+		// Every slot was crashed or Byzantine: there is no honest
+		// measurement to report, only NaN means and ±Inf spreads.
+		return nil, fmt.Errorf("bench: %s run has no live honest node (n=%d)", spec.Protocol, spec.N)
 	}
+	stats.Spread = hi - lo
+	stats.MeanAbsErr /= float64(len(stats.Outputs))
 	return stats, nil
 }
 

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"delphi/internal/core"
+	"delphi/internal/sim"
+)
+
+// InputShape selects how a scenario's honest measurements are distributed
+// over the δ range.
+type InputShape int
+
+// The available input shapes.
+const (
+	// ShapePinned is the paper's default workload: uniform over the range
+	// with the extremes pinned so δ is exact (OracleInputs).
+	ShapePinned InputShape = iota
+	// ShapeSkewed concentrates mass near the low end of the range with a
+	// thin tail to the pinned high extreme (a stale-feed / outlier regime).
+	ShapeSkewed
+	// ShapeClustered splits the nodes into two tight clusters at the range
+	// extremes — the bimodal regime that motivates multi-level Delphi
+	// (Fig. 2 vs Fig. 3).
+	ShapeClustered
+)
+
+// String implements fmt.Stringer.
+func (s InputShape) String() string {
+	switch s {
+	case ShapePinned:
+		return "pinned"
+	case ShapeSkewed:
+		return "skewed"
+	case ShapeClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// ShapedInputs generates n measurements centred on center with exact range
+// delta, distributed per shape. Like OracleInputs, the extremes are pinned
+// (slots 0 and 1) so δ is controlled exactly.
+func ShapedInputs(shape InputShape, n int, center, delta float64, seed int64) []float64 {
+	switch shape {
+	case ShapeSkewed:
+		rng := rand.New(rand.NewSource(seed))
+		lo := center - delta/2
+		out := make([]float64, n)
+		for i := range out {
+			u := rng.Float64()
+			out[i] = lo + delta*u*u*u
+		}
+		if n >= 2 {
+			out[0] = lo
+			out[1] = lo + delta
+		}
+		return out
+	case ShapeClustered:
+		rng := rand.New(rand.NewSource(seed))
+		lo, hi := center-delta/2, center+delta/2
+		jitter := delta / 20
+		out := make([]float64, n)
+		for i := range out {
+			// Jitter pulls inward only, so the pinned extremes stay extreme.
+			u := jitter * rng.Float64()
+			if i%2 == 1 {
+				out[i] = hi - u
+			} else {
+				out[i] = lo + u
+			}
+		}
+		if n >= 2 {
+			out[0] = lo
+			out[1] = hi
+		}
+		return out
+	default:
+		return OracleInputs(n, center, delta, seed)
+	}
+}
+
+// Scenario describes one measured workload: a protocol and system size, an
+// environment, an input distribution, and a fault load. New workloads are
+// one struct literal — the engine expands a scenario into its trial specs
+// and aggregates the results.
+type Scenario struct {
+	// Name labels the scenario in reports; Matrix fills it automatically.
+	Name string
+	// Protocol is the protocol under measurement.
+	Protocol Protocol
+	// N is the system size; F defaults to (N-1)/3 when zero.
+	N, F int
+	// Env is the simulated testbed.
+	Env sim.Environment
+	// Params holds Delphi's parameterisation (also sets the baselines'
+	// round counts, as in RunSpec).
+	Params core.Params
+	// Center and Delta position the honest inputs (δ = Delta).
+	Center, Delta float64
+	// Shape selects the input distribution over the range.
+	Shape InputShape
+	// Crashes crash-faults the highest honest slots (NaN inputs: mute from
+	// time zero). The lowest slots are spared because the input shapes pin
+	// the δ extremes there — crashing them would silently shrink the
+	// effective range below Delta and conflate fault load with input
+	// placement.
+	Crashes int
+	// Byzantine replaces the last Byzantine slots with adversaries of kind
+	// ByzKind.
+	Byzantine int
+	// ByzKind selects the adversarial behaviour.
+	ByzKind ByzKind
+	// Trials is the per-scenario trial count (default 1). Trial i runs at
+	// seed TrialSeed(base, i) with freshly shaped inputs.
+	Trials int
+	// NoCompression disables Delphi's wire encoding.
+	NoCompression bool
+}
+
+// faults returns the fault budget: F, or (N-1)/3 when unset.
+func (s Scenario) faults() int {
+	if s.F > 0 {
+		return s.F
+	}
+	return faults(s.N)
+}
+
+func (s Scenario) trials() int {
+	if s.Trials > 0 {
+		return s.Trials
+	}
+	return 1
+}
+
+// Validate checks that the scenario is well-formed and the fault load fits
+// the protocol's budget.
+func (s Scenario) Validate() error {
+	if s.N < 4 {
+		return fmt.Errorf("bench: scenario %q: n must be >= 4, got %d", s.Name, s.N)
+	}
+	f := s.faults()
+	if 3*f+1 > s.N {
+		return fmt.Errorf("bench: scenario %q: fault budget f=%d needs n >= %d, got %d",
+			s.Name, f, 3*f+1, s.N)
+	}
+	if s.Crashes < 0 || s.Byzantine < 0 {
+		return fmt.Errorf("bench: scenario %q: negative fault counts", s.Name)
+	}
+	if s.Crashes+s.Byzantine > f {
+		return fmt.Errorf("bench: scenario %q: %d crashes + %d byzantine exceed fault budget f=%d",
+			s.Name, s.Crashes, s.Byzantine, f)
+	}
+	if s.Delta <= 0 {
+		return fmt.Errorf("bench: scenario %q: delta must be positive, got %g", s.Name, s.Delta)
+	}
+	return nil
+}
+
+// Spec expands trial i of the scenario into a RunSpec. The trial seed is
+// derived deterministically from (baseSeed, i), so a scenario's corpus is
+// reproducible independent of worker count or batch order.
+func (s Scenario) Spec(baseSeed int64, trial int) RunSpec {
+	seed := TrialSeed(baseSeed, trial)
+	inputs := ShapedInputs(s.Shape, s.N, s.Center, s.Delta, seed)
+	// Crash the highest honest slots (just below any Byzantine slots);
+	// Validate bounds Crashes+Byzantine ≤ f < N-2, so the pinned extremes
+	// in slots 0 and 1 always survive and δ stays exact.
+	for i := 0; i < s.Crashes; i++ {
+		inputs[s.N-s.Byzantine-1-i] = math.NaN()
+	}
+	return RunSpec{
+		Protocol:      s.Protocol,
+		N:             s.N,
+		F:             s.faults(),
+		Env:           s.Env,
+		Seed:          seed,
+		Inputs:        inputs,
+		Delphi:        s.Params,
+		NoCompression: s.NoCompression,
+		Byzantine:     s.Byzantine,
+		ByzKind:       s.ByzKind,
+	}
+}
+
+// Specs expands every trial of the scenario.
+func (s Scenario) Specs(baseSeed int64) []RunSpec {
+	out := make([]RunSpec, s.trials())
+	for i := range out {
+		out[i] = s.Spec(baseSeed, i)
+	}
+	return out
+}
+
+// ScenarioResult pairs a scenario with its aggregated trial statistics.
+type ScenarioResult struct {
+	// Scenario is the expanded scenario.
+	Scenario Scenario
+	// Agg holds the streaming per-trial summary.
+	Agg *Aggregate
+}
+
+// RunScenario executes every trial of the scenario across the worker pool
+// and aggregates the results. keepSamples retains per-trial latency samples
+// for tail (EVT) fitting.
+func (e *Engine) RunScenario(s Scenario, baseSeed int64, keepSamples bool) (*ScenarioResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	stats, err := e.RunBatch(s.Specs(baseSeed))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	agg := NewAggregate(keepSamples)
+	for _, st := range stats {
+		agg.Observe(st)
+	}
+	return &ScenarioResult{Scenario: s, Agg: agg}, nil
+}
+
+// Matrix is a scenario grid: a base scenario crossed with per-axis value
+// lists. Nil axes keep the base value, so a Matrix degenerates gracefully
+// to a single scenario. The paper's sweeps (env × n, δ sweep, fault
+// sweeps) are each one or two axes.
+type Matrix struct {
+	// Base supplies every field the axes don't override.
+	Base Scenario
+	// Envs, Ns, Deltas, Shapes, CrashCounts, and ByzCounts are the axes.
+	Envs        []sim.Environment
+	Ns          []int
+	Deltas      []float64
+	Shapes      []InputShape
+	CrashCounts []int
+	ByzCounts   []int
+}
+
+// Scenarios expands the matrix to the cross-product of its axes, naming
+// each cell "env/n=N/δ=D/shape[/crash=C][/byz=B]".
+func (m Matrix) Scenarios() []Scenario {
+	envs := m.Envs
+	if len(envs) == 0 {
+		envs = []sim.Environment{m.Base.Env}
+	}
+	ns := m.Ns
+	if len(ns) == 0 {
+		ns = []int{m.Base.N}
+	}
+	deltas := m.Deltas
+	if len(deltas) == 0 {
+		deltas = []float64{m.Base.Delta}
+	}
+	shapes := m.Shapes
+	if len(shapes) == 0 {
+		shapes = []InputShape{m.Base.Shape}
+	}
+	crashes := m.CrashCounts
+	if len(crashes) == 0 {
+		crashes = []int{m.Base.Crashes}
+	}
+	byzs := m.ByzCounts
+	if len(byzs) == 0 {
+		byzs = []int{m.Base.Byzantine}
+	}
+	var out []Scenario
+	for _, env := range envs {
+		for _, n := range ns {
+			for _, d := range deltas {
+				for _, sh := range shapes {
+					for _, cr := range crashes {
+						for _, bz := range byzs {
+							s := m.Base
+							s.Env = env
+							s.N = n
+							// An explicit base F only makes sense at the
+							// base's n; cells at other sizes re-derive
+							// (N-1)/3.
+							s.F = 0
+							if m.Base.F > 0 && n == m.Base.N {
+								s.F = m.Base.F
+							}
+							s.Delta = d
+							s.Shape = sh
+							s.Crashes = cr
+							s.Byzantine = bz
+							s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
+							if cr > 0 {
+								s.Name += fmt.Sprintf("/crash=%d", cr)
+							}
+							if bz > 0 {
+								s.Name += fmt.Sprintf("/byz=%d", bz)
+							}
+							out = append(out, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunMatrix expands the matrix and executes every trial of every cell as
+// one flat batch (maximal pool utilisation), returning per-cell aggregates
+// in cell order.
+func (e *Engine) RunMatrix(m Matrix, baseSeed int64) ([]*ScenarioResult, error) {
+	cells := m.Scenarios()
+	var specs []RunSpec
+	offsets := make([]int, 0, len(cells))
+	for _, s := range cells {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		offsets = append(offsets, len(specs))
+		specs = append(specs, s.Specs(baseSeed)...)
+	}
+	stats, err := e.RunBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ScenarioResult, len(cells))
+	for ci, s := range cells {
+		agg := NewAggregate(false)
+		end := len(specs)
+		if ci+1 < len(cells) {
+			end = offsets[ci+1]
+		}
+		for _, st := range stats[offsets[ci]:end] {
+			agg.Observe(st)
+		}
+		out[ci] = &ScenarioResult{Scenario: s, Agg: agg}
+	}
+	return out, nil
+}

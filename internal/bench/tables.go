@@ -88,20 +88,18 @@ func Table1(scale Scale, seed int64) (*Table, error) {
 		Title:  fmt.Sprintf("Asynchronous convex BA protocols, measured at n=%d, δ=%.0f$", n, delta),
 		Header: []string{"MB", "latency", "pairings", "spread", "validity-slack"},
 	}
-	specs := []struct {
-		name string
-		spec RunSpec
-	}{
-		{"FIN (ACS)", RunSpec{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p}},
-		{"Abraham et al.", RunSpec{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p}},
-		{"Dolev et al. (5t+1)", RunSpec{Protocol: ProtoDolev, N: n, F: fDolev, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p}},
-		{"Delphi", RunSpec{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p}},
+	names := []string{"FIN (ACS)", "Abraham et al.", "Dolev et al. (5t+1)", "Delphi"}
+	specs := []RunSpec{
+		{Protocol: ProtoFIN, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p},
+		{Protocol: ProtoAbraham, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p},
+		{Protocol: ProtoDolev, N: n, F: fDolev, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p},
+		{Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed, Inputs: inputs, Delphi: p},
 	}
-	for _, s := range specs {
-		st, err := Run(s.spec)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", s.name, err)
-		}
+	stats, err := labelledBatch("table1", specs, names)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range stats {
 		slack := 0.0
 		for _, o := range st.Outputs {
 			if o < m {
@@ -111,7 +109,7 @@ func Table1(scale Scale, seed int64) (*Table, error) {
 				slack = math.Max(slack, o-M)
 			}
 		}
-		tbl.Rows = append(tbl.Rows, TableRow{Name: s.name, Cells: []string{
+		tbl.Rows = append(tbl.Rows, TableRow{Name: names[i], Cells: []string{
 			fmt.Sprintf("%.2f", float64(st.TotalBytes)/1e6),
 			st.Latency.Round(time.Millisecond).String(),
 			fmt.Sprintf("%d", st.Pairings),
@@ -146,18 +144,25 @@ func Table2(scale Scale, seed int64) (*Table, error) {
 		Title:  fmt.Sprintf("Delphi under input conditions, n=%d", n),
 		Header: []string{"MB", "rounds", "latency", "spread"},
 	}
-	for _, c := range conds {
-		p := core.Params{S: 0, E: 100000, Rho0: eps, Delta: c.delta, Eps: eps}
-		st, err := Run(RunSpec{
+	var specs []RunSpec
+	var labels []string
+	params := make([]core.Params, len(conds))
+	for i, c := range conds {
+		params[i] = core.Params{S: 0, E: 100000, Rho0: eps, Delta: c.delta, Eps: eps}
+		specs = append(specs, RunSpec{
 			Protocol: ProtoDelphi, N: n, F: f, Env: sim.AWS(), Seed: seed,
-			Inputs: OracleInputs(n, 41000, c.rng, seed), Delphi: p,
+			Inputs: OracleInputs(n, 41000, c.rng, seed), Delphi: params[i],
 		})
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", c.name, err)
-		}
-		tbl.Rows = append(tbl.Rows, TableRow{Name: c.name, Cells: []string{
+		labels = append(labels, c.name)
+	}
+	stats, err := labelledBatch("table2", specs, labels)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range stats {
+		tbl.Rows = append(tbl.Rows, TableRow{Name: conds[i].name, Cells: []string{
 			fmt.Sprintf("%.2f", float64(st.TotalBytes)/1e6),
-			fmt.Sprintf("%d", p.Rounds(n)),
+			fmt.Sprintf("%d", params[i].Rounds(n)),
 			st.Latency.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.3g", st.Spread),
 		}})

@@ -33,12 +33,12 @@ func (e *Engine) debugState() string {
 		for r := 1; r <= len(x.rounds); r++ {
 			ir := x.rounds[r-1]
 			e1 := ""
-			for v, s := range ir.echo1 {
-				e1 += fmt.Sprintf(" %g:%d", v, len(s))
+			for _, s := range ir.echo1.sets {
+				e1 += fmt.Sprintf(" %g:%d", s.v, s.count)
 			}
 			e2 := ""
-			for v, s := range ir.echo2 {
-				e2 += fmt.Sprintf(" %g:%d", v, len(s))
+			for _, s := range ir.echo2.sets {
+				e2 += fmt.Sprintf(" %g:%d", s.v, s.count)
 			}
 			fmt.Fprintf(&b, " [r%d e1{%s} e2{%s} dec=%v/%g sentE2=%v]", r, e1, e2, ir.decided, ir.decision, ir.sentEcho2)
 		}

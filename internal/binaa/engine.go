@@ -2,6 +2,7 @@ package binaa
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"delphi/internal/node"
@@ -47,14 +48,19 @@ type Engine struct {
 	done   bool
 	inputs map[IID]float64
 	insts  map[IID]*inst
+	// instList holds the instances in activation order, for iteration
+	// without map-ordering overhead (all whole-set loops are commutative).
+	instList []*inst
 
 	// Per-round bookkeeping, index r-1; grown on demand. initBundles holds
-	// each sender's (reconstructed) round announcement: instances listed —
-	// with any value, zero included — voted explicitly; everything else
-	// implicitly voted 0.
-	initBundles  []map[node.ID][]IVal
+	// each sender's (reconstructed) round announcement, indexed by sender:
+	// instances listed — with any value, zero included — voted explicitly;
+	// everything else implicitly voted 0. initSeen marks the senders whose
+	// bundle has arrived (a present bundle may be an empty list).
+	initBundles  [][][]IVal
+	initSeen     []bitset
 	initCount    []int
-	zerosSenders []map[node.ID]bool
+	zerosSenders []bitset
 	zerosCount   []int
 	sentZeros    []bool
 
@@ -70,14 +76,57 @@ type Engine struct {
 	pendAmp  []IVal
 	pendE2   []IVal
 	pendE2CB map[int][]byte // per round: staged compact ECHO2 bitmap
-	// dirty tracks (instance, round) pairs touched by the current message.
-	dirty map[dirtyKey]bool
+	// dirty lists the (instance, round) pairs touched by the current
+	// message; the per-round dirty flag deduplicates, and the packed key
+	// orders the drain deterministically by (round, level, K).
+	dirty []dirtyEntry
+	// gen is the bundle-membership generation counter (see inst.gen).
+	gen uint64
 }
 
-type dirtyKey struct {
-	id IID
-	r  int
+type dirtyEntry struct {
+	key uint64
+	x   *inst
 }
+
+// sortDirty orders entries by packed key. Most drains are a handful of
+// entries per delivered message, where a direct insertion sort beats the
+// generic comparator-closure sort by a wide margin; the rare large drains
+// (a round advance re-marks every instance) fall through to SortFunc.
+func sortDirty(entries []dirtyEntry) {
+	if len(entries) <= 32 {
+		for i := 1; i < len(entries); i++ {
+			e := entries[i]
+			j := i - 1
+			for j >= 0 && entries[j].key > e.key {
+				entries[j+1] = entries[j]
+				j--
+			}
+			entries[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(entries, func(a, b dirtyEntry) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// dirtyKey packs (round, instance) so that ascending uint64 order equals
+// the engine's deterministic (round, level, K) processing order. K's sign
+// bit is flipped to map int32 ordering onto uint32 ordering.
+func dirtyKey(id IID, r int) uint64 {
+	return uint64(r)<<40 | uint64(id.Level)<<32 | uint64(uint32(id.K)^0x80000000)
+}
+
+// dirtyRound recovers the round from a packed key.
+func dirtyRound(k uint64) int { return int(k >> 40) }
 
 // NewEngine creates an engine with the node's non-zero inputs. An input of
 // 1 at instance X corresponds to Algorithm 2 line 11; inputs strictly
@@ -103,7 +152,6 @@ func NewEngine(cfg Config, inputs map[IID]float64, onDone func(map[IID]float64))
 		onDone:     onDone,
 		inputs:     in,
 		insts:      make(map[IID]*inst),
-		dirty:      make(map[dirtyKey]bool),
 		pendingC:   make(map[node.ID]map[int]*Echo1C),
 		pendingE2C: make(map[node.ID]map[int]*Echo2C),
 		pendE2CB:   make(map[int][]byte),
@@ -133,8 +181,9 @@ func (e *Engine) Start(env node.Env) {
 	e.env = env
 	e.round = 1
 	for id, v := range e.inputs {
-		x := &inst{id: id, state: v, joined: 1}
+		x := &inst{id: id, n: e.cfg.N, state: v, joined: 1}
 		e.insts[id] = x
+		e.instList = append(e.instList, x)
 	}
 	e.openRound(1)
 	e.flush()
@@ -143,9 +192,10 @@ func (e *Engine) Start(env node.Env) {
 // grow ensures per-round slices cover round r.
 func (e *Engine) grow(r int) {
 	for len(e.initBundles) < r {
-		e.initBundles = append(e.initBundles, make(map[node.ID][]IVal))
+		e.initBundles = append(e.initBundles, make([][]IVal, e.cfg.N))
+		e.initSeen = append(e.initSeen, newBitset(e.cfg.N))
 		e.initCount = append(e.initCount, 0)
-		e.zerosSenders = append(e.zerosSenders, make(map[node.ID]bool))
+		e.zerosSenders = append(e.zerosSenders, newBitset(e.cfg.N))
 		e.zerosCount = append(e.zerosCount, 0)
 		e.sentZeros = append(e.sentZeros, false)
 	}
@@ -161,10 +211,10 @@ func (e *Engine) openRound(r int) {
 		e.annIndex = append(e.annIndex, nil)
 	}
 	// Mark per-instance round state (my init vote and self-echo).
-	for _, x := range e.insts {
+	for _, x := range e.instList {
 		ir := x.round(r)
 		ir.myInit = x.state
-		ir.amped[x.state] = true
+		ir.markAmped(x.state)
 	}
 	// Build this round's announcement in canonical append order: previous
 	// announcement first, newly active instances (sorted) appended.
@@ -178,9 +228,9 @@ func (e *Engine) openRound(r int) {
 			idx[p.ID] = len(ann) - 1
 		}
 		var fresh []IID
-		for id := range e.insts {
-			if _, ok := prevIdx[id]; !ok {
-				fresh = append(fresh, id)
+		for _, x := range e.instList {
+			if _, ok := prevIdx[x.id]; !ok {
+				fresh = append(fresh, x.id)
 			}
 		}
 		sortIIDs(fresh)
@@ -189,9 +239,9 @@ func (e *Engine) openRound(r int) {
 			idx[id] = len(ann) - 1
 		}
 	} else {
-		var ids []IID
-		for id := range e.insts {
-			ids = append(ids, id)
+		ids := make([]IID, 0, len(e.instList))
+		for _, x := range e.instList {
+			ids = append(ids, x.id)
 		}
 		sortIIDs(ids)
 		ann = make([]IVal, 0, len(ids))
@@ -283,8 +333,8 @@ func (e *Engine) HandleEcho1(from node.ID, m *Echo1) {
 			}
 			e.grow(r)
 			x := e.activate(v.ID)
-			if x.round(r).addEcho1(from, v.V) {
-				e.mark(v.ID, r)
+			if x.round(r).addEcho1(from, v.V, e.cfg.N) {
+				e.mark(x, r)
 			}
 		}
 	}
@@ -296,7 +346,7 @@ func (e *Engine) HandleEcho1(from node.ID, m *Echo1) {
 // bundles that were waiting for this round.
 func (e *Engine) applyInitBundle(from node.ID, r int, vals []IVal) {
 	e.grow(r)
-	if _, dup := e.initBundles[r-1][from]; dup {
+	if e.initSeen[r-1].get(from) {
 		return // equivocating bundle: first wins
 	}
 	kept := make([]IVal, 0, len(vals))
@@ -305,16 +355,17 @@ func (e *Engine) applyInitBundle(from node.ID, r int, vals []IVal) {
 			kept = append(kept, v)
 		}
 	}
+	e.initSeen[r-1].set(from)
 	e.initBundles[r-1][from] = kept
 	e.initCount[r-1]++
-	mentioned := make(map[IID]bool, len(kept))
+	e.gen++
 	for _, v := range kept {
-		mentioned[v.ID] = true
 		x := e.activate(v.ID)
+		x.gen = e.gen
 		e.applyInitVote(x, r, from, v.V)
 	}
-	for id, x := range e.insts {
-		if !mentioned[id] {
+	for _, x := range e.instList {
+		if x.gen != e.gen {
 			e.applyInitVote(x, r, from, 0)
 		}
 	}
@@ -340,10 +391,10 @@ func (e *Engine) HandleEcho1C(from node.ID, m *Echo1C) {
 		return
 	}
 	e.grow(r)
-	if _, dup := e.initBundles[r-1][from]; dup {
+	if e.initSeen[r-1].get(from) {
 		return
 	}
-	if e.initBundles[r-2][from] == nil {
+	if !e.initSeen[r-2].get(from) {
 		// Base round not yet seen: buffer (keep the first only).
 		if e.pendingC[from] == nil {
 			e.pendingC[from] = make(map[int]*Echo1C)
@@ -400,7 +451,7 @@ func (e *Engine) HandleEcho2C(from node.ID, m *Echo2C) {
 		return
 	}
 	e.grow(r)
-	if e.initBundles[r-1][from] == nil {
+	if !e.initSeen[r-1].get(from) {
 		if e.pendingE2C[from] == nil {
 			e.pendingE2C[from] = make(map[int]*Echo2C)
 		}
@@ -432,8 +483,8 @@ func (e *Engine) applyEcho2C(from node.ID, m *Echo2C) {
 			continue
 		}
 		x := e.activate(iv.ID)
-		if x.round(r).addEcho2(from, iv.V, true) {
-			e.mark(iv.ID, r)
+		if x.round(r).addEcho2(from, iv.V, true, e.cfg.N) {
+			e.mark(x, r)
 		}
 	}
 }
@@ -447,17 +498,27 @@ func (e *Engine) HandleEcho2(from node.ID, m *Echo2) {
 		r := int(m.Round)
 		if e.validRound(r) {
 			e.grow(r)
-			if !e.zerosSenders[r-1][from] {
-				e.zerosSenders[r-1][from] = true
+			if !e.zerosSenders[r-1].get(from) {
+				e.zerosSenders[r-1].set(from)
 				e.zerosCount[r-1]++
-				// Apply to every instance whose init-slot vote from this
-				// sender was zero; instances whose init vote hasn't arrived
-				// pick the zeros vote up in applyInitVote.
-				for id, x := range e.insts {
+				// Mark the sender's listed instances once (first listing
+				// wins, as in bundle reconstruction), then apply the
+				// implicit zero to every instance whose init-slot vote from
+				// this sender was zero; instances whose init vote hasn't
+				// arrived pick the zeros vote up in applyInitVote.
+				e.gen++
+				for _, v := range e.initBundles[r-1][from] {
+					if x, ok := e.insts[v.ID]; ok && x.gen != e.gen {
+						x.gen = e.gen
+						x.genNonzero = v.V != 0
+					}
+				}
+				for _, x := range e.instList {
 					ir := x.round(r)
-					if ir.initConsumed[from] && !e.initListedNonzero(r, from, id) {
-						if ir.addEcho2(from, 0, false) {
-							e.mark(id, r)
+					listedNonzero := x.gen == e.gen && x.genNonzero
+					if ir.initConsumed.get(from) && !listedNonzero {
+						if ir.addEcho2(from, 0, false, e.cfg.N) {
+							e.mark(x, r)
 						}
 					}
 				}
@@ -471,22 +532,11 @@ func (e *Engine) HandleEcho2(from node.ID, m *Echo2) {
 		}
 		e.grow(r)
 		x := e.activate(v.ID)
-		if x.round(r).addEcho2(from, v.V, true) {
-			e.mark(v.ID, r)
+		if x.round(r).addEcho2(from, v.V, true, e.cfg.N) {
+			e.mark(x, r)
 		}
 	}
 	e.settle()
-}
-
-// initListedNonzero reports whether sender's stored init bundle for round r
-// listed instance id with a non-zero value.
-func (e *Engine) initListedNonzero(r int, from node.ID, id IID) bool {
-	for _, v := range e.initBundles[r-1][from] {
-		if v.ID == id && int(v.Round) == r {
-			return v.V != 0
-		}
-	}
-	return false
 }
 
 // applyInitVote consumes sender's init-slot ECHO1 vote for one instance and
@@ -494,18 +544,18 @@ func (e *Engine) initListedNonzero(r int, from node.ID, id IID) bool {
 // was zero.
 func (e *Engine) applyInitVote(x *inst, r int, from node.ID, v float64) {
 	ir := x.round(r)
-	if ir.initConsumed[from] {
+	if ir.initConsumed.get(from) {
 		return
 	}
-	ir.initConsumed[from] = true
-	changed := ir.addEcho1(from, v)
-	if v == 0 && e.zerosSenders[r-1][from] {
-		if ir.addEcho2(from, 0, false) {
+	ir.initConsumed.set(from)
+	changed := ir.addEcho1(from, v, e.cfg.N)
+	if v == 0 && e.zerosSenders[r-1].get(from) {
+		if ir.addEcho2(from, 0, false, e.cfg.N) {
 			changed = true
 		}
 	}
 	if changed {
-		e.mark(x.id, r)
+		e.mark(x, r)
 	}
 }
 
@@ -516,29 +566,41 @@ func (e *Engine) activate(id IID) *inst {
 	if x, ok := e.insts[id]; ok {
 		return x
 	}
-	x := &inst{id: id, state: 0, joined: e.round}
+	x := &inst{id: id, n: e.cfg.N, state: 0, joined: e.round}
 	e.insts[id] = x
+	e.instList = append(e.instList, x)
 	for r := 1; r <= len(e.initBundles); r++ {
-		for from, vals := range e.initBundles[r-1] {
+		for from := 0; from < e.cfg.N; from++ {
+			if !e.initSeen[r-1].get(node.ID(from)) {
+				continue
+			}
 			v := 0.0
-			for _, iv := range vals {
+			for _, iv := range e.initBundles[r-1][from] {
 				if iv.ID == id && int(iv.Round) == r {
 					v = iv.V
 					break
 				}
 			}
-			e.applyInitVote(x, r, from, v)
+			e.applyInitVote(x, r, node.ID(from), v)
 		}
 		// This node's own implicit behaviour: it echoed 0 in every round it
 		// has opened, so it must not re-amplify 0 there.
 		if r <= e.round {
-			x.round(r).amped[0] = true
+			x.round(r).markAmped(0)
 		}
 	}
 	return x
 }
 
-func (e *Engine) mark(id IID, r int) { e.dirty[dirtyKey{id: id, r: r}] = true }
+// mark queues (x, r) for re-checking; the instRound's dirty flag makes
+// repeated marks free.
+func (e *Engine) mark(x *inst, r int) {
+	ir := x.round(r)
+	if !ir.dirty {
+		ir.dirty = true
+		e.dirty = append(e.dirty, dirtyEntry{key: dirtyKey(x.id, r), x: x})
+	}
+}
 
 // maybeSendZeros broadcasts the implicit ECHO2(0) bundle for round r once
 // n-t init bundles for r have arrived.
@@ -555,25 +617,16 @@ func (e *Engine) settle() {
 	quorum := e.cfg.Quorum()
 	for {
 		for len(e.dirty) > 0 {
-			// Drain the dirty set; checks may re-mark entries.
-			keys := make([]dirtyKey, 0, len(e.dirty))
-			for k := range e.dirty {
-				keys = append(keys, k)
-			}
-			// Deterministic processing order.
-			sort.Slice(keys, func(i, j int) bool {
-				a, b := keys[i], keys[j]
-				if a.r != b.r {
-					return a.r < b.r
-				}
-				if a.id.Level != b.id.Level {
-					return a.id.Level < b.id.Level
-				}
-				return a.id.K < b.id.K
-			})
-			e.dirty = make(map[dirtyKey]bool)
-			for _, k := range keys {
-				e.check(e.insts[k.id], k.r, quorum)
+			// Drain the dirty list; checks may re-mark entries (the flag is
+			// cleared before each check so re-marks land in the next pass).
+			entries := e.dirty
+			e.dirty = nil
+			// Deterministic processing order: packed keys sort (r, level, K).
+			sortDirty(entries)
+			for _, en := range entries {
+				r := dirtyRound(en.key)
+				en.x.round(r).dirty = false
+				e.check(en.x, r, quorum)
 			}
 		}
 		if !e.tryAdvance() {
@@ -588,14 +641,14 @@ func (e *Engine) check(x *inst, r int, quorum int) {
 	ir := x.round(r)
 	// Amplification: echo any value with t+1 support that we haven't echoed.
 	var ampVals []float64
-	for v, s := range ir.echo1 {
-		if len(s) >= e.cfg.F+1 && !ir.amped[v] {
-			ampVals = append(ampVals, v)
+	for i := range ir.echo1.sets {
+		if s := &ir.echo1.sets[i]; s.count >= e.cfg.F+1 && !ir.hasAmped(s.v) {
+			ampVals = append(ampVals, s.v)
 		}
 	}
 	sort.Float64s(ampVals)
 	for _, v := range ampVals {
-		ir.amped[v] = true
+		ir.markAmped(v)
 		e.pendAmp = append(e.pendAmp, IVal{ID: x.id, Round: uint16(r), V: v})
 	}
 	// ECHO2: first value to reach n-t ECHO1s, once per round. Deferred for
@@ -603,9 +656,9 @@ func (e *Engine) check(x *inst, r int, quorum int) {
 	// round-opening path re-marks every instance dirty.
 	if !ir.sentEcho2 && r <= e.round {
 		var e2vals []float64
-		for v, s := range ir.echo1 {
-			if len(s) >= quorum {
-				e2vals = append(e2vals, v)
+		for i := range ir.echo1.sets {
+			if s := &ir.echo1.sets[i]; s.count >= quorum {
+				e2vals = append(e2vals, s.v)
 			}
 		}
 		if len(e2vals) > 0 {
@@ -642,13 +695,13 @@ func (e *Engine) tryAdvance() bool {
 		e.zerosCount[e.round-1] < e.cfg.Quorum() {
 		return false
 	}
-	for _, x := range e.insts {
+	for _, x := range e.instList {
 		if !x.decidedRound(e.round) {
 			return false
 		}
 	}
 	// Adopt decisions as next-round states.
-	for _, x := range e.insts {
+	for _, x := range e.instList {
 		x.state = x.rounds[e.round-1].decision
 	}
 	if e.round >= e.cfg.Rounds {
@@ -660,8 +713,8 @@ func (e *Engine) tryAdvance() bool {
 	e.openRound(e.round)
 	e.maybeSendZeros(e.round)
 	// Early-arrived votes may already decide the new round; re-check all.
-	for id := range e.insts {
-		e.mark(id, e.round)
+	for _, x := range e.instList {
+		e.mark(x, e.round)
 	}
 	return true
 }
@@ -691,8 +744,15 @@ func (e *Engine) flush() {
 		e.env.Broadcast(&Echo2{Vals: vals})
 	}
 	if len(e.pendE2CB) > 0 {
-		for r, bits := range e.pendE2CB {
-			e.env.Broadcast(&Echo2C{Round: uint16(r), Bits: bits})
+		// Broadcast in ascending round order: map order would let the
+		// network-level message sequence vary between runs.
+		rounds := make([]int, 0, len(e.pendE2CB))
+		for r := range e.pendE2CB {
+			rounds = append(rounds, r)
+		}
+		slices.Sort(rounds)
+		for _, r := range rounds {
+			e.env.Broadcast(&Echo2C{Round: uint16(r), Bits: e.pendE2CB[r]})
 		}
 		e.pendE2CB = make(map[int][]byte)
 	}

@@ -41,28 +41,35 @@ type IID struct {
 // String implements fmt.Stringer.
 func (id IID) String() string { return fmt.Sprintf("L%d/K%d", id.Level, id.K) }
 
-// instRound holds one instance's vote state for one round.
+// instRound holds one instance's vote state for one round. The simulator
+// delivers millions of per-round votes in a paper-scale run, so the tallies
+// are bitsets and small value slices rather than maps (see bitset.go); the
+// voting semantics are identical to the map representation.
 type instRound struct {
-	// echo1 maps value → the set of nodes that ECHO1'd it (explicitly or
+	// echo1 tallies, per value, the nodes that ECHO1'd it (explicitly or
 	// implicitly). A node may legitimately echo several values
 	// (own state + amplified values).
-	echo1 map[float64]map[node.ID]bool
+	echo1 votes
+	// echo2 tallies, per value, the nodes whose ECHO2 counted for it.
+	echo2 votes
 	// initConsumed marks senders whose init-slot vote (explicit listing or
 	// implicit zero) has been applied, so replays don't double-count.
-	initConsumed map[node.ID]bool
-	// amped records the values this node has itself echoed for this round.
-	amped map[float64]bool
-	// echo2 maps value → set of nodes whose ECHO2 counted for it.
-	echo2 map[float64]map[node.ID]bool
+	initConsumed bitset
 	// echo2From marks senders whose ECHO2 vote (explicit or zeros-bundle)
-	// has been consumed, and whether it was explicit (explicit overrides a
-	// previously applied implicit zero, modelling message reordering).
-	echo2From map[node.ID]bool
-	// echo2Explicit marks senders whose consumed ECHO2 was explicit.
-	echo2Explicit map[node.ID]bool
+	// has been consumed.
+	echo2From bitset
+	// echo2Explicit marks senders whose consumed ECHO2 was explicit (an
+	// explicit vote overrides a previously applied implicit zero, modelling
+	// message reordering).
+	echo2Explicit bitset
+	// amped records the values this node has itself echoed for this round.
+	amped []float64
 	// sentEcho2 records that this node cast its ECHO2 for this round
 	// (explicitly or via its zeros bundle).
 	sentEcho2 bool
+	// dirty marks membership in the engine's pending re-check list (the
+	// flag deduplicates marks without a hashed set).
+	dirty bool
 	// myInit is the value this node's init bundle cast for this round
 	// (0 for implicit votes). The zeros bundle only covers instances whose
 	// init vote was 0, so explicit ECHO2(0) may be skipped only then.
@@ -72,54 +79,57 @@ type instRound struct {
 	decision float64
 }
 
-func newInstRound() *instRound {
+// newInstRound allocates one round's state for an n-node system. The three
+// sender bitsets share one backing array: one allocation instead of six
+// map headers per (instance, round).
+func newInstRound(n int) *instRound {
+	w := bitsetWords(n)
+	backing := make(bitset, 3*w)
 	return &instRound{
-		echo1:         make(map[float64]map[node.ID]bool),
-		initConsumed:  make(map[node.ID]bool),
-		amped:         make(map[float64]bool),
-		echo2:         make(map[float64]map[node.ID]bool),
-		echo2From:     make(map[node.ID]bool),
-		echo2Explicit: make(map[node.ID]bool),
+		initConsumed:  backing[:w:w],
+		echo2From:     backing[w : 2*w : 2*w],
+		echo2Explicit: backing[2*w : 3*w : 3*w],
+	}
+}
+
+// hasAmped reports whether this node has already echoed v this round.
+func (ir *instRound) hasAmped(v float64) bool {
+	for _, a := range ir.amped {
+		if a == v {
+			return true
+		}
+	}
+	return false
+}
+
+// markAmped records that this node echoed v this round.
+func (ir *instRound) markAmped(v float64) {
+	if !ir.hasAmped(v) {
+		ir.amped = append(ir.amped, v)
 	}
 }
 
 // addEcho1 records an ECHO1 vote; returns true if it was new.
-func (ir *instRound) addEcho1(from node.ID, v float64) bool {
-	s := ir.echo1[v]
-	if s == nil {
-		s = make(map[node.ID]bool)
-		ir.echo1[v] = s
-	}
-	if s[from] {
-		return false
-	}
-	s[from] = true
-	return true
+func (ir *instRound) addEcho1(from node.ID, v float64, n int) bool {
+	return ir.echo1.add(from, v, n)
 }
 
 // addEcho2 records an ECHO2 vote subject to the once-per-sender rule;
 // explicit votes override a previously applied implicit zero (reordering).
 // Returns true if the tally changed.
-func (ir *instRound) addEcho2(from node.ID, v float64, explicit bool) bool {
-	if ir.echo2From[from] {
-		if !explicit || ir.echo2Explicit[from] {
+func (ir *instRound) addEcho2(from node.ID, v float64, explicit bool, n int) bool {
+	if ir.echo2From.get(from) {
+		if !explicit || ir.echo2Explicit.get(from) {
 			return false // duplicate or second explicit: ignore
 		}
 		// Explicit overriding implicit zero: move the vote.
-		if s := ir.echo2[0]; s != nil {
-			delete(s, from)
-		}
+		ir.echo2.remove(from, 0)
 	}
-	ir.echo2From[from] = true
+	ir.echo2From.set(from)
 	if explicit {
-		ir.echo2Explicit[from] = true
+		ir.echo2Explicit.set(from)
 	}
-	s := ir.echo2[v]
-	if s == nil {
-		s = make(map[node.ID]bool)
-		ir.echo2[v] = s
-	}
-	s[from] = true
+	ir.echo2.add(from, v, n)
 	return true
 }
 
@@ -128,19 +138,20 @@ func (ir *instRound) tryDecide(quorum int) bool {
 	if ir.decided {
 		return false
 	}
-	// Condition (2): one value with n-t ECHO2s.
-	for v, s := range ir.echo2 {
-		if len(s) >= quorum {
+	// Condition (2): one value with n-t ECHO2s. At most one value can reach
+	// the n-t majority (each sender votes once), so first-found is unique.
+	for i := range ir.echo2.sets {
+		if s := &ir.echo2.sets[i]; s.count >= quorum {
 			ir.decided = true
-			ir.decision = v
+			ir.decision = s.v
 			return true
 		}
 	}
 	// Condition (1): two values with n-t ECHO1s each.
 	var qualifying []float64
-	for v, s := range ir.echo1 {
-		if len(s) >= quorum {
-			qualifying = append(qualifying, v)
+	for i := range ir.echo1.sets {
+		if s := &ir.echo1.sets[i]; s.count >= quorum {
+			qualifying = append(qualifying, s.v)
 		}
 	}
 	if len(qualifying) >= 2 {
@@ -156,6 +167,8 @@ func (ir *instRound) tryDecide(quorum int) bool {
 // inst is the per-instance state across rounds.
 type inst struct {
 	id IID
+	// n is the node universe size (sizes the per-round bitsets).
+	n int
 	// state is this node's current-round state value.
 	state float64
 	// joined is the round at which this node began explicit participation
@@ -164,11 +177,19 @@ type inst struct {
 	joined int
 	// rounds[r-1] is the vote state of round r. Grown on demand.
 	rounds []*instRound
+	// gen and genNonzero implement the engine's per-bundle membership
+	// marks: an instance with gen equal to the engine's current generation
+	// was listed in the bundle being applied (genNonzero: with a non-zero
+	// value). This replaces a per-bundle IID-keyed map — the bundle loops
+	// run per sender per round over every instance, so map hashing there
+	// dominated whole-run profiles.
+	gen        uint64
+	genNonzero bool
 }
 
 func (x *inst) round(r int) *instRound {
 	for len(x.rounds) < r {
-		x.rounds = append(x.rounds, newInstRound())
+		x.rounds = append(x.rounds, newInstRound(x.n))
 	}
 	return x.rounds[r-1]
 }

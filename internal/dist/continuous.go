@@ -149,9 +149,74 @@ func (d Gamma) CDF(x float64) float64 {
 	return regIncGammaP(d.Shape, x/d.Scale)
 }
 
-// Quantile implements Distribution by numeric inversion of CDF (the gamma
-// quantile has no closed form).
+// Quantile implements Distribution by safeguarded Newton iteration on the
+// regularized incomplete gamma CDF (the gamma quantile has no closed
+// form), seeded by the Wilson–Hilferty cube-root normal approximation. The
+// seed lands within a few percent of the root for moderate shapes, so
+// Newton converges in a handful of CDF evaluations where the previous
+// bisection needed ~200; a bracketing safeguard keeps every step inside a
+// shrinking [lo, hi] interval, so pathological shapes degrade to bisection
+// rather than diverging.
 func (d Gamma) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || !(d.Shape > 0) || !(d.Scale > 0) {
+		return math.NaN()
+	}
+	if p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	return gammaQuantileStd(d.Shape, p) * d.Scale
+}
+
+// gammaQuantileStd inverts P(k, ·) at p for the standard (θ=1) gamma.
+func gammaQuantileStd(k, p float64) float64 {
+	// Wilson–Hilferty seed: (X/k)^(1/3) ≈ Normal(1 − 1/(9k), 1/(9k)).
+	z := Normal{Mu: 0, Sigma: 1}.Quantile(p)
+	t := 1 - 1/(9*k) + z/(3*math.Sqrt(k))
+	x := k * t * t * t
+	lgk, _ := math.Lgamma(k)
+	if x <= 0 || k < 0.5 {
+		// Small-shape / far-left-tail fallback seed, from the leading term
+		// of the series P(k, x) ≈ x^k / Γ(k+1).
+		x = math.Exp((math.Log(p) + lgk + math.Log(k)) / k)
+	}
+	// Safeguarded Newton: maintain a bracket [lo, hi] around the root and
+	// bisect whenever a Newton step would leave it.
+	lo, hi := 0.0, math.Inf(1)
+	for i := 0; i < 64; i++ {
+		f := regIncGammaP(k, x) - p
+		if f > 0 {
+			hi = x
+		} else if f < 0 {
+			lo = x
+		} else {
+			return x
+		}
+		// pdf(x) = exp((k−1)·ln x − x − lnΓ(k)).
+		pdf := math.Exp((k-1)*math.Log(x) - x - lgk)
+		nx := x - f/pdf
+		if !(pdf > 0) || nx <= lo || nx >= hi {
+			// Newton unusable here: bisect (or grow an unbounded bracket).
+			if math.IsInf(hi, 1) {
+				nx = x * 2
+			} else {
+				nx = 0.5 * (lo + hi)
+			}
+		}
+		if nx == x || math.Abs(nx-x) <= 1e-15*x {
+			return nx
+		}
+		x = nx
+	}
+	return x
+}
+
+// gammaQuantileBisect is the pre-Newton implementation (bracketed
+// bisection over the CDF), retained as the reference for the round-trip
+// accuracy test and the speedup benchmark.
+func (d Gamma) gammaQuantileBisect(p float64) float64 {
 	if p < 0 || p > 1 || !(d.Shape > 0) || !(d.Scale > 0) {
 		return math.NaN()
 	}

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGammaQuantileRoundTrip pins the Newton-based quantile to the CDF:
+// CDF(Quantile(p)) must round-trip to p across shapes spanning the
+// sub-exponential, exponential, and near-normal regimes, including deep
+// tail probabilities.
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	shapes := []float64{0.3, 0.5, 0.87, 1, 2, 4.41, 20, 200, 5000}
+	scales := []float64{0.5, 1, 29.3}
+	ps := []float64{1e-8, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1 - 1e-8}
+	for _, k := range shapes {
+		for _, th := range scales {
+			d := Gamma{Shape: k, Scale: th}
+			for _, p := range ps {
+				x := d.Quantile(p)
+				if !(x > 0) || math.IsInf(x, 1) {
+					t.Fatalf("Gamma{%g,%g}.Quantile(%g) = %g", k, th, p, x)
+				}
+				got := d.CDF(x)
+				if math.Abs(got-p) > 1e-9 {
+					t.Errorf("Gamma{%g,%g}: CDF(Quantile(%g)) = %.12g (err %.2g)",
+						k, th, p, got, math.Abs(got-p))
+				}
+			}
+		}
+	}
+}
+
+// TestGammaQuantileMatchesBisection cross-checks Newton against the
+// retained bisection reference on a moderate grid.
+func TestGammaQuantileMatchesBisection(t *testing.T) {
+	for _, k := range []float64{0.5, 1, 4.41, 50} {
+		d := Gamma{Shape: k, Scale: 2}
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			newton := d.Quantile(p)
+			bisect := d.gammaQuantileBisect(p)
+			if math.Abs(newton-bisect) > 1e-6*(1+bisect) {
+				t.Errorf("shape %g p=%g: newton %.12g vs bisect %.12g", k, p, newton, bisect)
+			}
+		}
+	}
+}
+
+// TestGammaQuantileEdges pins the domain edges and invalid inputs.
+func TestGammaQuantileEdges(t *testing.T) {
+	d := Gamma{Shape: 2, Scale: 3}
+	if got := d.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0", got)
+	}
+	if got := d.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(1) = %g, want +Inf", got)
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := d.Quantile(p); !math.IsNaN(got) {
+			t.Errorf("Quantile(%g) = %g, want NaN", p, got)
+		}
+	}
+	if got := (Gamma{Shape: -1, Scale: 1}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("invalid shape: Quantile = %g, want NaN", got)
+	}
+}
+
+// quantileGrid is the shared benchmark workload.
+var quantileGrid = []struct{ k, p float64 }{
+	{0.87, 0.5}, {4.41, 0.99}, {20, 0.1}, {200, 0.9}, {2, 0.999},
+}
+
+// BenchmarkGammaQuantileNewton measures the Wilson–Hilferty-seeded Newton
+// inversion; compare against BenchmarkGammaQuantileBisect for the speedup.
+func BenchmarkGammaQuantileNewton(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		g := quantileGrid[i%len(quantileGrid)]
+		sink += Gamma{Shape: g.k, Scale: 1.5}.Quantile(g.p)
+	}
+	_ = sink
+}
+
+// BenchmarkGammaQuantileBisect measures the pre-Newton bisection reference.
+func BenchmarkGammaQuantileBisect(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		g := quantileGrid[i%len(quantileGrid)]
+		sink += Gamma{Shape: g.k, Scale: 1.5}.gammaQuantileBisect(g.p)
+	}
+	_ = sink
+}

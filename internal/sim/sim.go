@@ -188,6 +188,7 @@ type Runner struct {
 	procs []node.Process
 
 	queue      eventQueue
+	freeEvents []*event // recycled event structs (one per delivery otherwise)
 	seq        uint64
 	now        time.Duration
 	busyUntil  []time.Duration
@@ -329,7 +330,15 @@ func (r *Runner) dispatch(from, to node.ID, m node.Message, ready time.Duration)
 	}
 	at := start + tx + lat + extra
 	r.seq++
-	heap.Push(&r.queue, &event{at: at, seq: r.seq, from: from, to: to, msg: m})
+	var e *event
+	if n := len(r.freeEvents); n > 0 {
+		e = r.freeEvents[n-1]
+		r.freeEvents = r.freeEvents[:n-1]
+	} else {
+		e = new(event)
+	}
+	*e = event{at: at, seq: r.seq, from: from, to: to, msg: m}
+	heap.Push(&r.queue, e)
 	st := &r.stats[from]
 	st.MsgsSent++
 	st.BytesSent += int64(size)
@@ -383,19 +392,22 @@ func (r *Runner) Run() *Result {
 	}
 	for r.queue.Len() > 0 {
 		e := heap.Pop(&r.queue).(*event)
-		r.now = e.at
+		at, from, to, msg := e.at, e.from, e.to, e.msg
+		e.msg = nil
+		r.freeEvents = append(r.freeEvents, e)
+		r.now = at
 		if r.now > r.maxTime {
 			break
 		}
-		if r.halted[e.to] || r.procs[e.to] == nil {
+		if r.halted[to] || r.procs[to] == nil {
 			continue
 		}
 		r.events++
-		r.stats[e.to].MsgsRecv++
-		size := e.msg.WireSize() + r.env.MACBytes
-		p := r.procs[e.to]
-		r.step(e.to, e.at, r.env.Cost.messageCost(size), func(node.Env) {
-			p.Deliver(e.from, e.msg)
+		r.stats[to].MsgsRecv++
+		size := msg.WireSize() + r.env.MACBytes
+		p := r.procs[to]
+		r.step(to, at, r.env.Cost.messageCost(size), func(node.Env) {
+			p.Deliver(from, msg)
 		})
 		if r.allHalted() {
 			break
