@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|paper] [-seed N] [-workers K]
+//	experiments [-scale quick|paper] [-seed N] [-workers K] [-run T1,T2]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
-//	             validity tail matrix ablations | all]
+//	             validity tail matrix adversary ablations | all]
 //
-// Quick scale (default) runs reduced node counts and finishes in well under
-// a minute; paper scale uses the paper's axes (n up to 169) and can take
-// tens of minutes on one core. Trials fan out across bench.Engine's worker
-// pool (GOMAXPROCS workers unless -workers is set); results are identical
-// at any worker count.
+// Targets are selected positionally or with -run (comma-separated); the
+// two compose. Quick scale (default) runs reduced node counts and finishes
+// in well under a minute; paper scale uses the paper's axes (n up to 169)
+// and can take tens of minutes on one core. Trials fan out across
+// bench.Engine's worker pool (GOMAXPROCS workers unless -workers is set);
+// results — including the adversary sweep's adversarial schedules — are
+// identical at any worker count.
 package main
 
 import (
@@ -39,6 +41,7 @@ func run(args []string) error {
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick, medium, or paper")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
+	runFlag := fs.String("run", "", "comma-separated targets to run (adds to positional targets)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,10 +59,15 @@ func run(args []string) error {
 	}
 
 	targets := fs.Args()
+	for _, t := range strings.Split(*runFlag, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
-			"matrix", "ablations"}
+			"matrix", "adversary", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -149,10 +157,16 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return rep.Text, nil
 	case "matrix":
 		return runMatrix(scale, seed)
+	case "adversary":
+		rep, err := bench.AdversarySweep(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return rep.Text, nil
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, ablations)")
 	}
 }
 
@@ -241,5 +255,15 @@ func runAblations(seed int64) (string, error) {
 		clean.Latency.Round(time.Millisecond), float64(clean.TotalBytes)/1e6,
 		crashed.Latency.Round(time.Millisecond), float64(crashed.TotalBytes)/1e6,
 		byzantine.Latency.Round(time.Millisecond), float64(byzantine.TotalBytes)/1e6)
+
+	advRows, err := bench.AblationAdversary(16, seed)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "ablation: network adversary (Delphi, n=16, δ=20$)\n")
+	fmt.Fprintf(&b, "  %-14s %12s %8s %10s\n", "adversary", "latency(ms)", "MB", "spread")
+	for _, r := range advRows {
+		fmt.Fprintf(&b, "  %-14s %12.0f %8.2f %10.3g\n", r.Name, r.LatencyMS, r.MB, r.Spread)
+	}
 	return b.String(), nil
 }

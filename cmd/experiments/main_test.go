@@ -56,3 +56,52 @@ func TestPaperScaleSmoke(t *testing.T) {
 		t.Errorf("paper-scale smoke took %s, budget %s", elapsed.Round(time.Second), budget)
 	}
 }
+
+// TestAdversaryTargetDeterministic drives the acceptance criterion for the
+// adversary axis end to end: `-run adversary` sweeps the named DelayRule
+// presets across Delphi and FIN, and its rendered output is byte-identical
+// across reruns and across worker counts.
+func TestAdversaryTargetDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness test")
+	}
+	t.Cleanup(func() { bench.SetDefaultWorkers(0) })
+	bench.SetDefaultWorkers(1)
+	first, err := runTarget("adversary", bench.Quick, 1)
+	if err != nil {
+		t.Fatalf("adversary target: %v", err)
+	}
+	for _, name := range []string{"none", "slow-f", "gray", "partition", "coin-rush", "jitter-storm",
+		"delphi", "fin"} {
+		if !strings.Contains(first, name) {
+			t.Errorf("adversary sweep output lacks %q:\n%s", name, first)
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		bench.SetDefaultWorkers(workers)
+		again, err := runTarget("adversary", bench.Quick, 1)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if again != first {
+			t.Errorf("workers=%d: adversary sweep output differs from sequential run:\n%s\nvs\n%s",
+				workers, again, first)
+		}
+	}
+}
+
+// TestRunFlagSelectsTargets pins the -run flag: flag targets compose with
+// positional ones (both must run) and junk is rejected.
+func TestRunFlagSelectsTargets(t *testing.T) {
+	if err := run([]string{"-run", "fig4", "fig5"}); err != nil {
+		t.Errorf("-run fig4 + positional fig5: %v", err)
+	}
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("-run nope: want error")
+	}
+	// A junk positional target must still error when -run is set — i.e. the
+	// flag must not swallow the positional list.
+	if err := run([]string{"-run", "fig4", "nope"}); err == nil {
+		t.Error("-run fig4 with junk positional: want error")
+	}
+}

@@ -59,7 +59,7 @@ func main() {
 	}
 
 	// Adversarial scheduler: node 3's messages crawl.
-	slow := func(from, to node.ID, _ node.Message) time.Duration {
+	slow := func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
 		if from == 3 {
 			return 250 * time.Millisecond
 		}

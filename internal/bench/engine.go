@@ -144,20 +144,61 @@ func (e *Engine) RunTrials(base RunSpec, trials int) ([]*RunStats, error) {
 	return e.RunBatch(specs)
 }
 
+// DefaultSampleCap bounds a Stream's retained samples: large enough that
+// the Fig. 4/5-style EVT fits are statistically indistinguishable from
+// full-sample fits, small enough that a paper-scale million-trial sweep
+// holds half a megabyte of samples instead of gigabytes.
+const DefaultSampleCap = 1 << 16
+
 // Stream accumulates a scalar series with Welford's online algorithm: one
-// pass, O(1) state for the moments, with optional retention of the raw
-// samples (the EVT fits for the Fig. 4/5-style tail analyses need the full
-// sample set; plain latency/bandwidth summaries do not).
+// pass, O(1) state for the moments, with optional retention of raw samples
+// (the EVT fits for the Fig. 4/5-style tail analyses need a sample set;
+// plain latency/bandwidth summaries do not).
+//
+// Retention is a fixed-capacity reservoir (Vitter's Algorithm R), not an
+// unbounded append: the first SampleCap observations are kept verbatim and
+// later ones replace uniformly random slots, so Samples is always a uniform
+// random subset of everything observed and memory stays bounded at any
+// trial count. The replacement randomness is a deterministic splitmix64
+// stream seeded with SampleSeed, so aggregation stays byte-identical across
+// reruns (observations are folded in spec order regardless of worker
+// count). Min/Max/moments always cover every observation.
 type Stream struct {
-	// KeepSamples retains every observed value in Samples when set before
-	// the first Add.
+	// KeepSamples retains observations in Samples when set before the
+	// first Add.
 	KeepSamples bool
-	// Samples holds the observations when KeepSamples is set.
+	// SampleCap bounds the reservoir; 0 means DefaultSampleCap.
+	SampleCap int
+	// SampleSeed seeds the reservoir's replacement stream. The zero value
+	// is a fine seed: replacement stays deterministic either way; distinct
+	// seeds merely decorrelate the subsampling of parallel streams.
+	SampleSeed uint64
+	// Samples holds the retained observations when KeepSamples is set. Up
+	// to SampleCap observations it is the full series in order; beyond
+	// that, a uniform sample of the whole series.
 	Samples []float64
 
 	n        int
 	mean, m2 float64
 	min, max float64
+	rng      uint64
+}
+
+// cap returns the effective reservoir capacity.
+func (s *Stream) cap() int {
+	if s.SampleCap > 0 {
+		return s.SampleCap
+	}
+	return DefaultSampleCap
+}
+
+// nextRand advances the embedded splitmix64 stream.
+func (s *Stream) nextRand() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Add feeds one observation.
@@ -173,7 +214,20 @@ func (s *Stream) Add(v float64) {
 	s.mean += d / float64(s.n)
 	s.m2 += d * (v - s.mean)
 	if s.KeepSamples {
-		s.Samples = append(s.Samples, v)
+		if c := s.cap(); len(s.Samples) < c {
+			s.Samples = append(s.Samples, v)
+		} else {
+			if s.n == c+1 {
+				// First overflow: start the replacement stream at the seed.
+				s.rng = s.SampleSeed
+			}
+			if j := int(s.nextRand() % uint64(s.n)); j < c {
+				// Keep with probability cap/n, replacing a uniform victim —
+				// Algorithm R. The modulo bias at cap ~2^16 of 2^64 states
+				// is far below the fits' statistical noise.
+				s.Samples[j] = v
+			}
+		}
 	}
 }
 
@@ -232,7 +286,8 @@ type Aggregate struct {
 }
 
 // NewAggregate returns an aggregate; keepSamples retains per-trial latency
-// samples for tail (EVT) fitting.
+// samples for tail (EVT) fitting, bounded by the stream's seeded reservoir
+// (DefaultSampleCap) so paper-scale trial counts cannot exhaust memory.
 func NewAggregate(keepSamples bool) *Aggregate {
 	a := &Aggregate{}
 	a.LatencyMS.KeepSamples = keepSamples

@@ -1,0 +1,130 @@
+package bench_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delphi/internal/bench"
+	"delphi/internal/dist"
+)
+
+// TestStreamReservoirBounds pins the memory contract: a stream fed far more
+// observations than its cap retains exactly cap samples while the moments
+// and extremes still cover everything.
+func TestStreamReservoirBounds(t *testing.T) {
+	s := bench.Stream{KeepSamples: true, SampleCap: 100}
+	n := 10000
+	for i := 0; i < n; i++ {
+		s.Add(float64(i))
+	}
+	if len(s.Samples) != 100 {
+		t.Fatalf("reservoir holds %d samples, want cap 100", len(s.Samples))
+	}
+	if s.N() != n {
+		t.Errorf("N = %d, want %d", s.N(), n)
+	}
+	if s.Min() != 0 || s.Max() != float64(n-1) {
+		t.Errorf("min/max = %g/%g: extremes must cover all observations", s.Min(), s.Max())
+	}
+	if got := s.Mean(); math.Abs(got-float64(n-1)/2) > 1e-9 {
+		t.Errorf("mean = %g, want %g", got, float64(n-1)/2)
+	}
+	// Below the cap, retention is verbatim and in order.
+	short := bench.Stream{KeepSamples: true, SampleCap: 100}
+	for i := 0; i < 50; i++ {
+		short.Add(float64(i))
+	}
+	for i, v := range short.Samples {
+		if v != float64(i) {
+			t.Fatalf("below-cap sample %d = %g, want %d (verbatim order)", i, v, i)
+		}
+	}
+}
+
+// TestStreamReservoirDeterministic pins the seeded replacement: two streams
+// fed the same series retain the same reservoir.
+func TestStreamReservoirDeterministic(t *testing.T) {
+	a := bench.Stream{KeepSamples: true, SampleCap: 64}
+	b := bench.Stream{KeepSamples: true, SampleCap: 64}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64()
+		a.Add(v)
+		b.Add(v)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("reservoirs diverge at %d: %g vs %g", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	// A different SampleSeed decorrelates the subsample.
+	c := bench.Stream{KeepSamples: true, SampleCap: 64, SampleSeed: 99}
+	rng = rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		c.Add(rng.Float64())
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("SampleSeed=99 retained the same reservoir as the default seed — seed unused")
+	}
+}
+
+// TestStreamReservoirIsUniform checks the sampling property Algorithm R
+// guarantees: every observation is retained with probability cap/n, so the
+// reservoir mean estimates the population mean.
+func TestStreamReservoirIsUniform(t *testing.T) {
+	s := bench.Stream{KeepSamples: true, SampleCap: 2000}
+	n := 40000
+	for i := 0; i < n; i++ {
+		s.Add(float64(i % 1000)) // population mean 499.5
+	}
+	var sum float64
+	for _, v := range s.Samples {
+		sum += v
+	}
+	got := sum / float64(len(s.Samples))
+	// Std error ≈ 289/sqrt(2000) ≈ 6.5; 5σ keeps the test deterministic in
+	// practice (the rng stream is fixed anyway).
+	if math.Abs(got-499.5) > 33 {
+		t.Errorf("reservoir mean %g far from population mean 499.5 — sampling is biased", got)
+	}
+}
+
+// TestReservoirEVTFitTolerance is the satellite regression: EVT fit
+// parameters from a capped reservoir must stay within tolerance of the
+// full-sample fit, so bounding memory does not invalidate the Fig. 4-style
+// tail analyses.
+func TestReservoirEVTFitTolerance(t *testing.T) {
+	truth := dist.Gumbel{Mu: 120, Beta: 14}
+	rng := rand.New(rand.NewSource(11))
+	full := bench.Stream{KeepSamples: true} // default cap 65536 > n: keeps all
+	capped := bench.Stream{KeepSamples: true, SampleCap: 4096}
+	for i := 0; i < 30000; i++ {
+		v := truth.Sample(rng)
+		full.Add(v)
+		capped.Add(v)
+	}
+	if len(full.Samples) != 30000 {
+		t.Fatalf("full stream dropped samples: %d", len(full.Samples))
+	}
+	if len(capped.Samples) != 4096 {
+		t.Fatalf("capped stream holds %d, want 4096", len(capped.Samples))
+	}
+	fitFull := dist.FitGumbel(full.Samples)
+	fitCap := dist.FitGumbel(capped.Samples)
+	// Sampling error of the method-of-moments Gumbel fit at n=4096 is well
+	// under 2% of scale; 5% relative tolerance leaves headroom.
+	if rel := math.Abs(fitCap.Beta-fitFull.Beta) / fitFull.Beta; rel > 0.05 {
+		t.Errorf("reservoir Beta %g vs full %g: rel err %.3f > 0.05", fitCap.Beta, fitFull.Beta, rel)
+	}
+	if diff := math.Abs(fitCap.Mu - fitFull.Mu); diff > 0.05*fitFull.Beta+1 {
+		t.Errorf("reservoir Mu %g vs full %g: drift %g too large", fitCap.Mu, fitFull.Mu, diff)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"delphi/internal/binaa"
 	"delphi/internal/byz"
 	"delphi/internal/core"
+	"delphi/internal/netadv"
 	"delphi/internal/node"
 	"delphi/internal/sim"
 )
@@ -61,6 +62,11 @@ type RunSpec struct {
 	// (crash-at-zero) node. The active behaviours attack Delphi's BinAA
 	// layer and degrade to mute under the other protocols.
 	ByzKind ByzKind
+	// Adversary installs a network adversary (an adversarial message
+	// scheduler) for the run; the zero value is a clean network. The
+	// adversary's delay schedule derives deterministically from Seed, so
+	// adversarial runs stay byte-identical across reruns and worker counts.
+	Adversary netadv.Adversary
 }
 
 // ByzKind names a Byzantine behaviour for RunSpec.Byzantine slots.
@@ -188,7 +194,14 @@ func Run(spec RunSpec) (*RunStats, error) {
 		}
 		procs[i] = p
 	}
-	runner, err := sim.NewRunner(cfg, spec.Env, spec.Seed, procs, sim.WithMaxTime(4*time.Hour))
+	if err := spec.Adversary.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	opts := []sim.Option{sim.WithMaxTime(4 * time.Hour)}
+	if rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed); rule != nil {
+		opts = append(opts, sim.WithDelayRule(rule))
+	}
+	runner, err := sim.NewRunner(cfg, spec.Env, spec.Seed, procs, opts...)
 	if err != nil {
 		return nil, err
 	}

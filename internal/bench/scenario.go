@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"delphi/internal/core"
+	"delphi/internal/netadv"
 	"delphi/internal/sim"
 )
 
@@ -114,6 +115,9 @@ type Scenario struct {
 	Byzantine int
 	// ByzKind selects the adversarial behaviour.
 	ByzKind ByzKind
+	// Adversary installs a network adversary (adversarial scheduling) for
+	// every trial; the zero value is a clean network.
+	Adversary netadv.Adversary
 	// Trials is the per-scenario trial count (default 1). Trial i runs at
 	// seed TrialSeed(base, i) with freshly shaped inputs.
 	Trials int
@@ -157,6 +161,9 @@ func (s Scenario) Validate() error {
 	if s.Delta <= 0 {
 		return fmt.Errorf("bench: scenario %q: delta must be positive, got %g", s.Name, s.Delta)
 	}
+	if err := s.Adversary.Validate(); err != nil {
+		return fmt.Errorf("bench: scenario %q: %w", s.Name, err)
+	}
 	return nil
 }
 
@@ -183,6 +190,7 @@ func (s Scenario) Spec(baseSeed int64, trial int) RunSpec {
 		NoCompression: s.NoCompression,
 		Byzantine:     s.Byzantine,
 		ByzKind:       s.ByzKind,
+		Adversary:     s.Adversary,
 	}
 }
 
@@ -228,17 +236,19 @@ func (e *Engine) RunScenario(s Scenario, baseSeed int64, keepSamples bool) (*Sce
 type Matrix struct {
 	// Base supplies every field the axes don't override.
 	Base Scenario
-	// Envs, Ns, Deltas, Shapes, CrashCounts, and ByzCounts are the axes.
+	// Envs, Ns, Deltas, Shapes, CrashCounts, ByzCounts, and Adversaries are
+	// the axes.
 	Envs        []sim.Environment
 	Ns          []int
 	Deltas      []float64
 	Shapes      []InputShape
 	CrashCounts []int
 	ByzCounts   []int
+	Adversaries []netadv.Adversary
 }
 
 // Scenarios expands the matrix to the cross-product of its axes, naming
-// each cell "env/n=N/δ=D/shape[/crash=C][/byz=B]".
+// each cell "env/n=N/δ=D/shape[/crash=C][/byz=B][/adv=A]".
 func (m Matrix) Scenarios() []Scenario {
 	envs := m.Envs
 	if len(envs) == 0 {
@@ -264,6 +274,10 @@ func (m Matrix) Scenarios() []Scenario {
 	if len(byzs) == 0 {
 		byzs = []int{m.Base.Byzantine}
 	}
+	advs := m.Adversaries
+	if len(advs) == 0 {
+		advs = []netadv.Adversary{m.Base.Adversary}
+	}
 	var out []Scenario
 	for _, env := range envs {
 		for _, n := range ns {
@@ -271,28 +285,34 @@ func (m Matrix) Scenarios() []Scenario {
 				for _, sh := range shapes {
 					for _, cr := range crashes {
 						for _, bz := range byzs {
-							s := m.Base
-							s.Env = env
-							s.N = n
-							// An explicit base F only makes sense at the
-							// base's n; cells at other sizes re-derive
-							// (N-1)/3.
-							s.F = 0
-							if m.Base.F > 0 && n == m.Base.N {
-								s.F = m.Base.F
+							for _, adv := range advs {
+								s := m.Base
+								s.Env = env
+								s.N = n
+								// An explicit base F only makes sense at the
+								// base's n; cells at other sizes re-derive
+								// (N-1)/3.
+								s.F = 0
+								if m.Base.F > 0 && n == m.Base.N {
+									s.F = m.Base.F
+								}
+								s.Delta = d
+								s.Shape = sh
+								s.Crashes = cr
+								s.Byzantine = bz
+								s.Adversary = adv
+								s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
+								if cr > 0 {
+									s.Name += fmt.Sprintf("/crash=%d", cr)
+								}
+								if bz > 0 {
+									s.Name += fmt.Sprintf("/byz=%d", bz)
+								}
+								if adv.Kind != netadv.None {
+									s.Name += fmt.Sprintf("/adv=%s", adv)
+								}
+								out = append(out, s)
 							}
-							s.Delta = d
-							s.Shape = sh
-							s.Crashes = cr
-							s.Byzantine = bz
-							s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
-							if cr > 0 {
-								s.Name += fmt.Sprintf("/crash=%d", cr)
-							}
-							if bz > 0 {
-								s.Name += fmt.Sprintf("/byz=%d", bz)
-							}
-							out = append(out, s)
 						}
 					}
 				}
@@ -302,11 +322,10 @@ func (m Matrix) Scenarios() []Scenario {
 	return out
 }
 
-// RunMatrix expands the matrix and executes every trial of every cell as
-// one flat batch (maximal pool utilisation), returning per-cell aggregates
-// in cell order.
-func (e *Engine) RunMatrix(m Matrix, baseSeed int64) ([]*ScenarioResult, error) {
-	cells := m.Scenarios()
+// RunScenarios executes every trial of every cell as one flat batch
+// (maximal pool utilisation), returning per-cell aggregates in cell order.
+// keepSamples retains per-trial latency samples in each cell's aggregate.
+func (e *Engine) RunScenarios(cells []Scenario, baseSeed int64, keepSamples bool) ([]*ScenarioResult, error) {
 	var specs []RunSpec
 	offsets := make([]int, 0, len(cells))
 	for _, s := range cells {
@@ -322,7 +341,7 @@ func (e *Engine) RunMatrix(m Matrix, baseSeed int64) ([]*ScenarioResult, error) 
 	}
 	out := make([]*ScenarioResult, len(cells))
 	for ci, s := range cells {
-		agg := NewAggregate(false)
+		agg := NewAggregate(keepSamples)
 		end := len(specs)
 		if ci+1 < len(cells) {
 			end = offsets[ci+1]
@@ -333,4 +352,10 @@ func (e *Engine) RunMatrix(m Matrix, baseSeed int64) ([]*ScenarioResult, error) 
 		out[ci] = &ScenarioResult{Scenario: s, Agg: agg}
 	}
 	return out, nil
+}
+
+// RunMatrix expands the matrix and executes every trial of every cell as
+// one flat batch, returning per-cell aggregates in cell order.
+func (e *Engine) RunMatrix(m Matrix, baseSeed int64) ([]*ScenarioResult, error) {
+	return e.RunScenarios(m.Scenarios(), baseSeed, false)
 }

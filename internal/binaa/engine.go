@@ -180,8 +180,18 @@ func (e *Engine) Weights() map[IID]float64 {
 func (e *Engine) Start(env node.Env) {
 	e.env = env
 	e.round = 1
-	for id, v := range e.inputs {
-		x := &inst{id: id, n: e.cfg.N, state: v, joined: 1}
+	// Seed instList in sorted (level, K) order, not input-map order: every
+	// later activation appends in deterministic message order, and whole-set
+	// loops over instList stage broadcasts — map order here is the same
+	// schedule-nondeterminism class as the aba.OnCoin map walk, merely
+	// masked today by downstream sorting.
+	ids := make([]IID, 0, len(e.inputs))
+	for id := range e.inputs {
+		ids = append(ids, id)
+	}
+	sortIIDs(ids)
+	for _, id := range ids {
+		x := &inst{id: id, n: e.cfg.N, state: e.inputs[id], joined: 1}
 		e.insts[id] = x
 		e.instList = append(e.instList, x)
 	}

@@ -4,9 +4,12 @@
 // of an honest protocol instance.
 //
 // The adversary model matches the paper's: up to t nodes fully controlled,
-// the network may reorder and delay (see sim.WithDelayRule) but not drop
-// messages, and channels are authenticated (a Byzantine node cannot forge
-// another node's sender identity).
+// the network may reorder and delay but not drop messages, and channels are
+// authenticated (a Byzantine node cannot forge another node's sender
+// identity). This package is the node half of that model; the network half
+// — adversarial scheduling — lives in internal/netadv, whose named
+// sim.DelayRule presets compose freely with these behaviours (a RunSpec can
+// carry both a Byzantine count and an Adversary).
 package byz
 
 import (

@@ -169,3 +169,46 @@ func TestConfigRejectsOutOfRangeInput(t *testing.T) {
 		t.Error("zero params accepted")
 	}
 }
+
+// TestAggregateOrderIndependent is the map-iteration determinism regression
+// for the aggregation phase: Aggregate sums weighted checkpoint values that
+// arrive as a map, and float addition is order-sensitive in the low bits.
+// The weights map is rebuilt with a shuffled insertion order on every
+// attempt (Go additionally randomises iteration per map), and every attempt
+// must produce a bit-identical output.
+func TestAggregateOrderIndependent(t *testing.T) {
+	p := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 2000, Eps: 2}
+	cfg := core.Config{Config: node.Config{N: 16, F: 5}, Params: p}
+	rng := rand.New(rand.NewSource(4))
+	base := buildWeights(p, 41000, 20, rng)
+	// Densify level 0 with many non-dyadic weights: sparse levels with two
+	// or three dyadic checkpoints can sum exactly in every order and mask
+	// an order dependence; a Byzantine spammer produces exactly this kind
+	// of wide junk-checkpoint spread.
+	for k := int32(20400); k < 20600; k++ {
+		base[binaa.IID{Level: 0, K: k}] = 0.1 + 0.8*rng.Float64()
+	}
+	type kv struct {
+		id binaa.IID
+		w  float64
+	}
+	flat := make([]kv, 0, len(base))
+	for id, w := range base {
+		flat = append(flat, kv{id, w})
+	}
+	var want float64
+	for attempt := 0; attempt < 200; attempt++ {
+		rng.Shuffle(len(flat), func(i, j int) { flat[i], flat[j] = flat[j], flat[i] })
+		m := make(map[binaa.IID]float64, len(flat))
+		for _, e := range flat {
+			m[e.id] = e.w
+		}
+		got := core.Aggregate(cfg, 41000, m).Output
+		if attempt == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("attempt %d: output %.17g != first attempt %.17g — summation is map-order dependent",
+				attempt, got, want)
+		}
+	}
+}

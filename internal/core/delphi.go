@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"delphi/internal/binaa"
 	"delphi/internal/node"
@@ -160,8 +161,17 @@ func Aggregate(cfg Config, input float64, weights map[binaa.IID]float64) Result 
 		st := LevelStat{Level: l}
 		cps := perLevel[l]
 		if len(cps) > 0 {
+			// Sum in sorted checkpoint order: float addition is not
+			// commutative in the low bits, so map-order summation would let
+			// the output vary by ulps between reruns of the same seed.
+			ks := make([]int32, 0, len(cps))
+			for k := range cps {
+				ks = append(ks, k)
+			}
+			slices.Sort(ks)
 			var num, den, maxW float64
-			for k, w := range cps {
+			for _, k := range ks {
+				w := cps[k]
 				num += w * p.Checkpoint(l, k)
 				den += w
 				if w > maxW {

@@ -163,7 +163,7 @@ func TestDelphiTargetedDelays(t *testing.T) {
 		procs[i] = d
 		honest[i] = v
 	}
-	slow := func(from, to node.ID, _ node.Message) time.Duration {
+	slow := func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
 		if from < 3 { // first three nodes' messages crawl
 			return 300 * time.Millisecond
 		}

@@ -1,0 +1,239 @@
+// Package netadv implements named network-adversary presets for the
+// simulator: seed-deterministic sim.DelayRule schedules that model the
+// asynchronous adversaries the paper's robustness claims are made against.
+//
+// The adversary model matches the paper's (§II): the network may delay and
+// reorder messages arbitrarily but never drops them, and the adversary sees
+// which links carry which message types. Each preset is a pure function of
+// (departure time, from, to, message, seed) — no hidden state — so a run
+// under any adversary remains byte-identical across reruns and across
+// bench.Engine worker counts, exactly like a clean run.
+//
+// The presets target the regimes where the paper's latency-tail story
+// (Fig. 4/5) is most interesting: targeted slowdown of honest nodes, gray
+// failure of individual links, transient partitions, coin starvation of the
+// randomized baselines, and heavy-tailed jitter storms.
+package netadv
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"delphi/internal/aba"
+	"delphi/internal/coin"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+// Kind names an adversary preset.
+type Kind string
+
+// The available presets.
+const (
+	// None is the empty adversary: no extra delay anywhere. It is the zero
+	// value, so a RunSpec without an adversary behaves exactly as before.
+	None Kind = ""
+	// SlowF makes the f lowest honest slots the system's slowest nodes:
+	// every message they send is delayed by a fixed amount. Slots 0 and 1
+	// pin the input-range extremes in the harness' workloads, so the
+	// adversary is holding back precisely the measurements that define δ —
+	// the worst case for approximate agreement's validity window.
+	SlowF Kind = "slow-f"
+	// Gray models a gray-failed node: one victim node's links degrade
+	// asymmetrically — messages it sends to half its peers, and messages
+	// half its peers send to it, crawl, while the remaining links stay
+	// healthy. No quorum ever excludes the victim outright, which is what
+	// makes gray failure harder than a crash.
+	Gray Kind = "gray"
+	// Partition splits the nodes into two halves and holds every
+	// cross-partition message until a heal time; messages sent after the
+	// heal flow normally. Deliveries are staggered pseudo-randomly after
+	// the heal so the protocol absorbs a burst, not a single batch.
+	Partition Kind = "partition"
+	// CoinRush starves the randomized baselines: threshold-coin shares and
+	// ABA AUX votes — the messages that gate each round's decision point —
+	// are delayed just past where the round would otherwise decide. Delphi
+	// sends neither message type, so this adversary isolates the cost of
+	// coin-bound termination (the paper's core argument for determinism).
+	CoinRush Kind = "coin-rush"
+	// JitterStorm adds heavy-tailed (Pareto) per-message jitter on every
+	// link: most messages pass nearly untouched while a deterministic few
+	// straggle by orders of magnitude — the asynchronous-network regime
+	// where tail latency, not mean latency, decides protocol ranking.
+	JitterStorm Kind = "jitter-storm"
+)
+
+// String implements fmt.Stringer; None renders as "none".
+func (k Kind) String() string {
+	if k == None {
+		return "none"
+	}
+	return string(k)
+}
+
+// Adversary is a named, parameterised network adversary. The zero value is
+// no adversary.
+type Adversary struct {
+	// Kind selects the preset.
+	Kind Kind
+	// Severity scales the preset's delays; 0 means the preset default (1.0).
+	Severity float64
+}
+
+// String implements fmt.Stringer.
+func (a Adversary) String() string {
+	if a.Severity != 0 && a.Severity != 1 {
+		return fmt.Sprintf("%s×%g", a.Kind, a.Severity)
+	}
+	return a.Kind.String()
+}
+
+// severity returns the delay multiplier.
+func (a Adversary) severity() float64 {
+	if a.Severity > 0 {
+		return a.Severity
+	}
+	return 1
+}
+
+// Presets returns the named presets at default severity, in sweep order.
+// None is excluded; sweeps that want a clean baseline add it explicitly.
+func Presets() []Adversary {
+	return []Adversary{
+		{Kind: SlowF},
+		{Kind: Gray},
+		{Kind: Partition},
+		{Kind: CoinRush},
+		{Kind: JitterStorm},
+	}
+}
+
+// Preset base magnitudes, scaled by Severity. They are sized against the
+// harness' testbeds: large relative to AWS one-way latencies (≤ ~108 ms) so
+// the adversary dominates the schedule, small relative to the simulator's
+// virtual-time bound so every run still terminates.
+const (
+	slowFDelay     = 150 * time.Millisecond
+	grayDelay      = 250 * time.Millisecond
+	partitionHeal  = 1500 * time.Millisecond
+	partitionStag  = 100 * time.Millisecond
+	coinRushDelay  = 120 * time.Millisecond
+	jitterScale    = 20 * time.Millisecond
+	jitterCap      = 3 * time.Second
+	jitterInvAlpha = 1 / 1.6 // Pareto tail index α=1.6: infinite variance
+)
+
+// Rule materialises the adversary for an n-node, f-fault system. It returns
+// nil for None (callers pass nil straight to sim.WithDelayRule-less runs).
+// The rule is a pure function of its arguments and the given seed.
+func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
+	sev := a.severity()
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * sev)
+	}
+	switch a.Kind {
+	case None:
+		return nil
+	case SlowF:
+		// Slots [0, f) are honest under the harness' fault placement
+		// (crashes and Byzantine nodes occupy the top f slots), and include
+		// the pinned δ extremes.
+		slow := f
+		if slow < 1 {
+			slow = 1
+		}
+		d := scale(slowFDelay)
+		return func(_ time.Duration, from, _ node.ID, _ node.Message) time.Duration {
+			if int(from) < slow {
+				return d
+			}
+			return 0
+		}
+	case Gray:
+		// The victim sits mid-range: never a pinned extreme, never a fault
+		// slot. Links to/from peers of opposite parity degrade.
+		victim := node.ID(n / 2)
+		d := scale(grayDelay)
+		return func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
+			if from == victim && (int(to)-int(victim))%2 != 0 {
+				return d
+			}
+			if to == victim && (int(from)-int(victim))%2 != 0 {
+				return d
+			}
+			return 0
+		}
+	case Partition:
+		heal := scale(partitionHeal)
+		stag := scale(partitionStag)
+		return func(at time.Duration, from, to node.ID, _ node.Message) time.Duration {
+			if at >= heal {
+				return 0
+			}
+			crossed := (int(from) < n/2) != (int(to) < n/2)
+			if !crossed {
+				return 0
+			}
+			// Held until the heal, then released with a deterministic
+			// per-message stagger.
+			hold := heal - at
+			if stag > 0 {
+				hold += time.Duration(msgHash(seed, at, from, to, 0) % uint64(stag))
+			}
+			return hold
+		}
+	case CoinRush:
+		d := scale(coinRushDelay)
+		return func(_ time.Duration, _, _ node.ID, m node.Message) time.Duration {
+			switch m.(type) {
+			case *coin.Share:
+				return d
+			case *aba.Aux:
+				return d / 2
+			}
+			return 0
+		}
+	case JitterStorm:
+		scl := float64(scale(jitterScale))
+		return func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+			h := msgHash(seed, at, from, to, m.WireSize())
+			// u uniform in (0, 1]; jitter = scale·(u^(-1/α) − 1) is Pareto
+			// with tail index α — heavy enough that the maximum over a run
+			// dominates the sum.
+			u := (float64(h>>11) + 1) / (1 << 53)
+			j := time.Duration(scl * (math.Pow(1/u, jitterInvAlpha) - 1))
+			if j > jitterCap {
+				j = jitterCap
+			}
+			return j
+		}
+	default:
+		// Unknown kinds fail loudly at materialisation sites via Validate;
+		// a nil rule here keeps Rule total.
+		return nil
+	}
+}
+
+// Validate rejects unknown kinds and negative severities.
+func (a Adversary) Validate() error {
+	switch a.Kind {
+	case None, SlowF, Gray, Partition, CoinRush, JitterStorm:
+	default:
+		return fmt.Errorf("netadv: unknown adversary kind %q", string(a.Kind))
+	}
+	if a.Severity < 0 {
+		return fmt.Errorf("netadv: negative severity %g", a.Severity)
+	}
+	return nil
+}
+
+// msgHash mixes the per-message coordinates with the seed via splitmix64:
+// deterministic, well-dispersed, and cheap enough for the dispatch hot path.
+func msgHash(seed int64, at time.Duration, from, to node.ID, size int) uint64 {
+	z := uint64(seed) ^ uint64(at)*0x9e3779b97f4a7c15 ^
+		uint64(from)<<32 ^ uint64(to)<<16 ^ uint64(size)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -40,8 +40,11 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 		Outputs: make([][]any, cfg.N),
 		Errs:    make([]error, cfg.N),
 	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	// Construct every driver before launching any goroutine: a failing
+	// AuthedDriver then returns with nothing started, instead of abandoning
+	// already-launched node goroutines (and the hub they block on) as an
+	// unsupervised leak.
+	drivers := make([]*Driver, cfg.N)
 	for i, p := range procs {
 		if p == nil {
 			continue
@@ -50,11 +53,19 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 		if err != nil {
 			return nil, err
 		}
-		idx := i
+		drivers[i] = d
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, d := range drivers {
+		if d == nil {
+			continue
+		}
+		idx, drv := i, d
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			for v := range d.Outputs() {
+			for v := range drv.Outputs() {
 				mu.Lock()
 				res.Outputs[idx] = append(res.Outputs[idx], v)
 				mu.Unlock()
@@ -62,7 +73,7 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 		}()
 		go func() {
 			defer wg.Done()
-			if err := d.Run(ctx); err != nil && ctx.Err() == nil {
+			if err := drv.Run(ctx); err != nil && ctx.Err() == nil {
 				mu.Lock()
 				res.Errs[idx] = err
 				mu.Unlock()
@@ -70,6 +81,10 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 		}()
 	}
 	wg.Wait()
-	_ = hub // inboxes stay open; drivers exited on halt
+	// Drivers have exited; close the hub so buffered inboxes are released
+	// and any overflow handoff still parked on a full inbox (e.g. one
+	// addressed to a crashed node that never drained) unblocks instead of
+	// leaking.
+	hub.Close()
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"net"
+	runtimestd "runtime"
 	"testing"
 	"time"
 
@@ -174,4 +175,73 @@ func TestTCPTransportDelphi(t *testing.T) {
 	if hi-lo >= cfg.Params.Eps {
 		t.Errorf("TCP cluster spread %g >= eps", hi-lo)
 	}
+}
+
+// goroutinesSettle polls until the goroutine count returns to at most base
+// (other tests' stragglers may still be winding down, so poll generously).
+func goroutinesSettle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtimestd.GC()
+		if n := runtimestd.NumGoroutine(); n <= base || time.Now().After(deadline) {
+			if n > base {
+				buf := make([]byte, 1<<16)
+				t.Errorf("goroutines leaked: %d running, want <= %d\n%s",
+					n, base, buf[:runtimestd.Stack(buf, true)])
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunClusterDriverErrorLeaksNothing pins the satellite fix: a failing
+// AuthedDriver (empty master secret) must return an error before any node
+// goroutine launches, leaving no goroutines or open hub behind.
+func TestRunClusterDriverErrorLeaksNothing(t *testing.T) {
+	cfg := liveCfg(4, 1)
+	procs := make([]node.Process, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		d, err := core.New(cfg, 500+float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = d
+	}
+	base := runtimestd.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := runtime.RunCluster(ctx, cfg.Config, procs, nil, codec.MustRegistry()); err == nil {
+		t.Fatal("empty master secret: want error")
+	}
+	goroutinesSettle(t, base)
+}
+
+// TestRunClusterShutsDownCleanly pins the clean-exit path: a successful run
+// (including a crashed node whose inbox nobody drains) must terminate every
+// goroutine it started and close the hub.
+func TestRunClusterShutsDownCleanly(t *testing.T) {
+	cfg := liveCfg(4, 1)
+	procs := make([]node.Process, cfg.N)
+	for i := 0; i < 3; i++ { // node 3 crashed (nil): its inbox never drains
+		d, err := core.New(cfg, 500+float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = d
+	}
+	base := runtimestd.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := runtime.RunCluster(ctx, cfg.Config, procs, []byte("m"), codec.MustRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Final(i) == nil {
+			t.Fatalf("node %d: no output", i)
+		}
+	}
+	goroutinesSettle(t, base)
 }

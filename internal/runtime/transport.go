@@ -60,6 +60,21 @@ func (h *Hub) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &hubTransport{hub: h, id: id, auth: a}
 }
 
+// Close shuts the hub down: every inbox is closed, unblocking any receiver
+// still draining and any overflow sender still parked on a full inbox (its
+// send panics on the closed channel and is recovered). Safe to call more
+// than once.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		for _, ch := range h.inbox {
+			close(ch)
+		}
+	}
+}
+
 type hubTransport struct {
 	hub  *Hub
 	id   node.ID
@@ -72,37 +87,37 @@ func (t *hubTransport) Send(to node.ID, frame []byte) error {
 	if int(to) < 0 || int(to) >= t.hub.n {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
-	t.hub.mu.Lock()
-	closed := t.hub.closed
-	t.hub.mu.Unlock()
-	if closed {
-		return nil
-	}
 	sealed := t.auth.Seal(to, frame)
 	f := Frame{From: t.id, Data: sealed}
+	// The closed check and the non-blocking enqueue share one critical
+	// section with Close, so the fast path can never send on a closed
+	// channel.
+	t.hub.mu.Lock()
+	if t.hub.closed {
+		t.hub.mu.Unlock()
+		return nil
+	}
 	select {
 	case t.hub.inbox[to] <- f:
+		t.hub.mu.Unlock()
+		return nil
 	default:
-		// Inbox full: hand off without blocking the protocol step.
-		go func() {
-			defer func() { _ = recover() }() // closed channel during shutdown
-			t.hub.inbox[to] <- f
-		}()
 	}
+	t.hub.mu.Unlock()
+	// Inbox full: hand off without blocking the protocol step. The handoff
+	// races with shutdown by design; a close while it is parked unblocks it
+	// via the recovered panic.
+	go func() {
+		defer func() { _ = recover() }() // closed channel during shutdown
+		t.hub.inbox[to] <- f
+	}()
 	return nil
 }
 
 func (t *hubTransport) Recv() <-chan Frame { return t.hub.inbox[t.id] }
 
 func (t *hubTransport) Close() error {
-	t.hub.mu.Lock()
-	defer t.hub.mu.Unlock()
-	if !t.hub.closed {
-		t.hub.closed = true
-		for _, ch := range t.hub.inbox {
-			close(ch)
-		}
-	}
+	t.hub.Close()
 	return nil
 }
 

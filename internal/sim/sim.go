@@ -176,9 +176,14 @@ func (r *Result) Outputs(ids []node.ID) []any {
 }
 
 // DelayRule lets an adversarial scheduler inject extra delay on selected
-// links/messages. It is consulted for every message; return 0 for no extra
-// delay.
-type DelayRule func(from, to node.ID, m node.Message) time.Duration
+// links/messages. It is consulted for every message with the message's
+// departure time (after the sender's compute and uplink serialization), so
+// time-varying adversaries — transient partitions, delay bursts — can be
+// expressed as pure functions. Return 0 for no extra delay. A rule must be
+// deterministic in its arguments: the simulator's reproducibility guarantee
+// extends to adversarial schedules only if the rule derives any randomness
+// from its inputs (see internal/netadv for seed-deterministic presets).
+type DelayRule func(at time.Duration, from, to node.ID, m node.Message) time.Duration
 
 // Runner drives a set of processes to completion in virtual time.
 type Runner struct {
@@ -326,7 +331,7 @@ func (r *Runner) dispatch(from, to node.ID, m node.Message, ready time.Duration)
 	lat := r.env.Latency.Latency(from, to, r.rng)
 	extra := time.Duration(0)
 	if r.delayRule != nil {
-		extra = r.delayRule(from, to, m)
+		extra = r.delayRule(start+tx, from, to, m)
 	}
 	at := start + tx + lat + extra
 	r.seq++

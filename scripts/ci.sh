@@ -32,4 +32,21 @@ go build ./...
 echo "== go test -race =="
 go test -race ${short_flag:+"$short_flag"} ./...
 
+# The adversary scenario axis is exercised on every run (including -short,
+# where the heavy bench tests skip): a quick-scale sweep of the named
+# DelayRule presets across protocols, run twice to hold the byte-identical
+# reruns guarantee.
+echo "== adversary-matrix smoke =="
+adv1=$(mktemp)
+adv2=$(mktemp)
+trap 'rm -f "$adv1" "$adv2"' EXIT
+# (the trailing "[... completed in ...]" wall-clock line is dropped)
+go run ./cmd/experiments -scale quick -seed 1 -run adversary | grep -v '^\[' > "$adv1"
+go run ./cmd/experiments -scale quick -seed 1 -run adversary | grep -v '^\[' > "$adv2"
+if ! cmp -s "$adv1" "$adv2"; then
+    echo "adversary sweep reruns differ:" >&2
+    diff "$adv1" "$adv2" >&2 || true
+    exit 1
+fi
+
 echo "CI OK"
