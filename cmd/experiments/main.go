@@ -5,8 +5,9 @@
 // Usage:
 //
 //	experiments [-scale quick|paper] [-seed N] [-workers K] [-run T1,T2]
+//	            [-backend sim|live|tcp]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
-//	             validity tail matrix adversary ablations | all]
+//	             validity tail matrix adversary backends ablations | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
 // two compose. Quick scale (default) runs reduced node counts and finishes
@@ -15,6 +16,13 @@
 // bench.Engine's worker pool (GOMAXPROCS workers unless -workers is set);
 // results — including the adversary sweep's adversarial schedules — are
 // identical at any worker count.
+//
+// -backend retargets every RunSpec-driven workload onto an execution
+// backend: the discrete-event simulator (default), an in-process goroutine
+// cluster (live), or a loopback TCP cluster (tcp). Live backends measure
+// wall-clock time, so their latency columns are real, non-deterministic
+// durations. The backends target cross-validates protocol outputs across
+// backends regardless of the flag.
 package main
 
 import (
@@ -23,6 +31,9 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	// Register the live execution backends (live, tcp) with bench.
+	_ "delphi/internal/backend"
 
 	"delphi/internal/bench"
 	"delphi/internal/core"
@@ -42,10 +53,14 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	runFlag := fs.String("run", "", "comma-separated targets to run (adds to positional targets)")
+	backendFlag := fs.String("backend", "sim", "execution backend for the workloads: sim, live, or tcp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	bench.SetDefaultWorkers(*workers)
+	if err := bench.SetDefaultBackend(bench.BackendKind(*backendFlag)); err != nil {
+		return err
+	}
 	var scale bench.Scale
 	switch *scaleFlag {
 	case "quick":
@@ -67,7 +82,7 @@ func run(args []string) error {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
-			"matrix", "adversary", "ablations"}
+			"matrix", "adversary", "backends", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -163,11 +178,70 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 			return "", err
 		}
 		return rep.Text, nil
+	case "backends":
+		return runBackends(scale, seed)
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, ablations)")
 	}
+}
+
+// runBackends demonstrates the execution-backend axis: first the
+// cross-backend validator (identical RunSpecs on the simulator and a live
+// goroutine cluster must produce outputs in the same agreement window; the
+// tcp backend joins above quick scale), then one Delphi matrix whose cells
+// cross input shapes with backends. Simulator cells report virtual latency;
+// live cells report real wall time and are excluded from byte-identity
+// expectations.
+func runBackends(scale bench.Scale, seed int64) (string, error) {
+	kinds := []bench.BackendKind{bench.BackendSim, bench.BackendLive}
+	if scale != bench.Quick {
+		kinds = append(kinds, bench.BackendTCP)
+	}
+	rep, err := bench.DefaultEngine().ValidateCrossBackend(kinds, scale, seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(rep.Text)
+	if !rep.OK() {
+		return b.String(), fmt.Errorf("cross-backend validation failed:\n%s", rep.Text)
+	}
+
+	trials := 2
+	if scale != bench.Quick {
+		trials = 4
+	}
+	m := bench.Matrix{
+		Base: bench.Scenario{
+			Protocol: bench.ProtoDelphi,
+			Params:   core.Params{S: 0, E: 100000, Rho0: 2, Delta: 256, Eps: 2},
+			Env:      sim.AWS(),
+			N:        8,
+			Center:   41000,
+			Delta:    20,
+			Trials:   trials,
+		},
+		Shapes:   []bench.InputShape{bench.ShapePinned, bench.ShapeClustered},
+		Backends: kinds,
+	}
+	cells, err := bench.DefaultEngine().RunMatrix(m, seed)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\nbackend matrix — Delphi, mean over trials\n")
+	b.WriteString("  (lat: virtual time on sim cells, wall time to decision on live cells)\n")
+	fmt.Fprintf(&b, "  %-40s %10s %10s %10s %10s\n", "cell", "lat(ms)", "wall(ms)", "MB", "spread")
+	for _, c := range cells {
+		wall := "-"
+		if c.Agg.WallMS.N() > 0 {
+			wall = fmt.Sprintf("%.1f", c.Agg.WallMS.Mean())
+		}
+		fmt.Fprintf(&b, "  %-40s %10.0f %10s %10.2f %10.3g\n",
+			c.Scenario.Name, c.Agg.LatencyMS.Mean(), wall, c.Agg.MB.Mean(), c.Agg.Spread.Mean())
+	}
+	return b.String(), nil
 }
 
 // runMatrix demonstrates the scenario matrix: Delphi across both testbeds,

@@ -26,6 +26,45 @@ func TestRunTargetDispatch(t *testing.T) {
 	if err := run([]string{"-scale", "warp9"}); err == nil {
 		t.Error("bad scale flag: want error")
 	}
+	if err := run([]string{"-backend", "warp", "fig4"}); err == nil {
+		t.Error("bad backend flag: want error")
+	}
+	t.Cleanup(func() { _ = bench.SetDefaultBackend("") })
+}
+
+// TestBackendsTarget drives the execution-backend axis end to end: the
+// cross-backend validator must pass and the rendered matrix must show both
+// sim and live cells, with wall time only on the latter.
+func TestBackendsTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster harness test")
+	}
+	text, err := runTarget("backends", bench.Quick, 1)
+	if err != nil {
+		t.Fatalf("backends target: %v", err)
+	}
+	for _, want := range []string{"cross-backend validation", "delphi", "fin", "abraham", "dolev",
+		"slow-f", "jitter-storm", "/be=live", "wall(ms)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("backends output lacks %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "FAIL") {
+		t.Errorf("backends output reports a failed check:\n%s", text)
+	}
+}
+
+// TestBackendFlagRetargetsWorkloads pins -backend live on an existing
+// target: the matrix must execute on the live cluster (wall-clock
+// latencies, so no byte-identity claim — just success and sane rendering).
+func TestBackendFlagRetargetsWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster harness test")
+	}
+	t.Cleanup(func() { _ = bench.SetDefaultBackend("") })
+	if err := run([]string{"-backend", "live", "-scale", "quick", "matrix"}); err != nil {
+		t.Fatalf("-backend live matrix: %v", err)
+	}
 }
 
 // TestPaperScaleSmoke exercises the experiments pipeline at the paper's

@@ -1,0 +1,58 @@
+package aaa_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"delphi/internal/aaa"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+// abrahamRun executes one full Abraham simulation at size n and returns the
+// event count, so the benchmark can report per-event cost — the metric
+// ROADMAP calls out: Abraham is the slowest baseline per event at large n
+// (the BinAA bitset optimisation does not apply to its witness-set logic).
+func abrahamRun(b *testing.B, n, rounds int, seed int64) int {
+	b.Helper()
+	f := (n - 1) / 3
+	cfg := aaa.AbrahamConfig{Config: node.Config{N: n, F: f}, Rounds: rounds}
+	rng := rand.New(rand.NewSource(seed))
+	procs := make([]node.Process, n)
+	for i := range procs {
+		p, err := aaa.NewAbraham(cfg, 41000+rng.Float64()*20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		procs[i] = p
+	}
+	runner, err := sim.NewRunner(cfg.Config, sim.AWS(), seed, procs, sim.WithMaxTime(time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := runner.Run()
+	for i := 0; i < n; i++ {
+		if len(res.Stats[i].Output) == 0 {
+			b.Fatalf("node %d: no output", i)
+		}
+	}
+	return res.Events
+}
+
+// BenchmarkAbraham pins the per-event cost of the Abraham et al. baseline
+// at a mid and a paper-scale size. Run with -benchmem: the witness
+// accounting is the per-event hot path, so allocation regressions surface
+// here first.
+func BenchmarkAbraham(b *testing.B) {
+	for _, n := range []int{16, 40} {
+		b.Run(map[int]string{16: "n=16", 40: "n=40"}[n], func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				events += abrahamRun(b, n, 5, int64(i+1))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}

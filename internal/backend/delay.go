@@ -1,0 +1,117 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+	"delphi/internal/runtime"
+	"delphi/internal/sim"
+	"delphi/internal/wire"
+)
+
+// traffic accumulates a cluster's outbound frame accounting across every
+// node's transport. Counting happens at the wrapper, before sealing, so the
+// totals are transport-independent: framed message bytes plus the MAC tag,
+// mirroring the simulator's "MACs included" convention.
+type traffic struct {
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
+// advTransport decorates a Transport with network-adversary delay injection
+// and traffic accounting. Outbound frames are decoded (type byte + body,
+// pre-seal) back into their node.Message so the same netadv presets that
+// drive the simulator — pure functions of (elapsed, from, to, message,
+// seed) — apply unchanged; the elapsed argument is wall-clock time since
+// cluster start instead of virtual time. Delayed frames are held on a
+// timer goroutine and then forwarded: the adversary may delay and reorder
+// but never drops, exactly as in the simulator, except that frames still
+// held when the cluster shuts down are released (their receivers are gone).
+type advTransport struct {
+	inner runtime.Transport
+	self  node.ID
+	rule  sim.DelayRule // nil = clean network (accounting only)
+	reg   *wire.Registry
+	start time.Time
+	acct  *traffic
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+	done   chan struct{}
+}
+
+var _ runtime.Transport = (*advTransport)(nil)
+
+// newAdvWrapper returns a TransportWrapper installing an advTransport on
+// every node, all sharing one wall clock and one traffic accumulator.
+func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry) (runtime.TransportWrapper, *traffic) {
+	acct := &traffic{}
+	start := time.Now()
+	wrap := func(id node.ID, tr runtime.Transport) runtime.Transport {
+		return &advTransport{
+			inner: tr,
+			self:  id,
+			rule:  rule,
+			reg:   reg,
+			start: start,
+			acct:  acct,
+			done:  make(chan struct{}),
+		}
+	}
+	return wrap, acct
+}
+
+// Send implements runtime.Transport.
+func (t *advTransport) Send(to node.ID, frame []byte) error {
+	t.acct.bytes.Add(int64(len(frame) + auth.MACSize))
+	t.acct.msgs.Add(1)
+	if t.rule != nil {
+		if m, err := t.reg.DecodeFramed(frame); err == nil {
+			if d := t.rule(time.Since(t.start), t.self, to, m); d > 0 {
+				t.mu.Lock()
+				if t.closed {
+					t.mu.Unlock()
+					return nil
+				}
+				t.wg.Add(1)
+				t.mu.Unlock()
+				timer := time.NewTimer(d)
+				go func() {
+					defer t.wg.Done()
+					defer timer.Stop()
+					select {
+					case <-timer.C:
+						_ = t.inner.Send(to, frame)
+					case <-t.done:
+					}
+				}()
+				return nil
+			}
+		}
+	}
+	return t.inner.Send(to, frame)
+}
+
+// Recv implements runtime.Transport.
+func (t *advTransport) Recv() <-chan runtime.Frame { return t.inner.Recv() }
+
+// Close implements runtime.Transport: pending delay timers are released
+// and the wrapped transport is closed first, so a delayed send already
+// past its timer and blocked inside the inner Send is unblocked — waiting
+// for it before closing the inner transport would deadlock exactly when a
+// peer has stopped draining.
+func (t *advTransport) Close() error {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.done)
+	}
+	t.mu.Unlock()
+	err := t.inner.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,47 @@
+package backend
+
+import (
+	"fmt"
+	"net"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+	"delphi/internal/runtime"
+)
+
+// tcpFactory binds one loopback listener per node up front (so every
+// node's dial address is known before any transport starts) and returns a
+// TransportFactory producing runtime.NewTCP endpoints over them. cleanup
+// closes the listeners of slots whose transport was never built (crashed
+// nodes); built transports own — and close — their listener themselves.
+func tcpFactory(n int) (runtime.TransportFactory, func(), error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, open := range lns[:i] {
+				open.Close()
+			}
+			return nil, nil, fmt.Errorf("backend: bind node %d: %w", i, err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	claimed := make([]bool, n)
+	factory := func(id node.ID, a *auth.Auth) (runtime.Transport, error) {
+		if int(id) < 0 || int(id) >= n {
+			return nil, fmt.Errorf("backend: tcp transport for out-of-range node %v", id)
+		}
+		claimed[id] = true
+		return runtime.NewTCP(id, addrs, lns[id], a), nil
+	}
+	cleanup := func() {
+		for i, ln := range lns {
+			if !claimed[i] {
+				ln.Close()
+			}
+		}
+	}
+	return factory, cleanup, nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BackendKind names an execution backend for a RunSpec or scenario cell.
+// The zero value selects the simulator, so existing specs and scenarios
+// behave exactly as before the backend axis existed.
+type BackendKind string
+
+// The backend kinds the harness knows about. Only the simulator is built
+// into this package; the live kinds are registered by internal/backend
+// (import it — cmd/experiments and the backend tests do — before running
+// live cells).
+const (
+	// BackendSim is the discrete-event simulator (bench.Run). It is also
+	// what the empty string means.
+	BackendSim BackendKind = "sim"
+	// BackendLive is an in-process goroutine cluster over runtime.Hub.
+	BackendLive BackendKind = "live"
+	// BackendTCP is a loopback TCP cluster over runtime.NewTCP.
+	BackendTCP BackendKind = "tcp"
+)
+
+// String implements fmt.Stringer; the zero value renders as "sim".
+func (k BackendKind) String() string {
+	if k == "" {
+		return string(BackendSim)
+	}
+	return string(k)
+}
+
+// BackendCaps declares what a backend's measurements mean.
+type BackendCaps struct {
+	// Deterministic backends produce byte-identical RunStats for a given
+	// RunSpec across reruns and worker counts. Only deterministic
+	// backends participate in byte-identity checks.
+	Deterministic bool
+	// WallClock backends measure real elapsed time: RunStats.Latency and
+	// RunStats.Wall are wall-clock durations subject to scheduler noise,
+	// not virtual time.
+	WallClock bool
+}
+
+// BackendFunc executes one RunSpec on some execution backend.
+type BackendFunc func(RunSpec) (*RunStats, error)
+
+// registeredBackend pairs a backend's runner with its capabilities.
+type registeredBackend struct {
+	caps BackendCaps
+	run  BackendFunc
+}
+
+var (
+	backendMu  sync.RWMutex
+	backendTab = map[BackendKind]registeredBackend{}
+)
+
+// RegisterBackend installs an execution backend under kind. The simulator
+// kinds ("", "sim") are built in and cannot be replaced; registering the
+// same kind twice is a programming error.
+func RegisterBackend(kind BackendKind, caps BackendCaps, run BackendFunc) error {
+	if kind == "" || kind == BackendSim {
+		return fmt.Errorf("bench: backend %q is built in", kind)
+	}
+	if run == nil {
+		return fmt.Errorf("bench: backend %q: nil runner", kind)
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendTab[kind]; dup {
+		return fmt.Errorf("bench: backend %q already registered", kind)
+	}
+	backendTab[kind] = registeredBackend{caps: caps, run: run}
+	return nil
+}
+
+// MustRegisterBackend is RegisterBackend panicking on error; intended for
+// package initialisation, where a duplicate is a build defect.
+func MustRegisterBackend(kind BackendKind, caps BackendCaps, run BackendFunc) {
+	if err := RegisterBackend(kind, caps, run); err != nil {
+		panic(err)
+	}
+}
+
+// BackendRegistered reports whether kind can execute specs in this process.
+func BackendRegistered(kind BackendKind) bool {
+	if kind == "" || kind == BackendSim {
+		return true
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	_, ok := backendTab[kind]
+	return ok
+}
+
+// BackendCapsOf returns kind's capabilities; ok is false for unregistered
+// kinds.
+func BackendCapsOf(kind BackendKind) (caps BackendCaps, ok bool) {
+	if kind == "" || kind == BackendSim {
+		return BackendCaps{Deterministic: true}, true
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	b, ok := backendTab[kind]
+	return b.caps, ok
+}
+
+// RegisteredBackends lists every runnable kind in sorted order, the
+// simulator first.
+func RegisteredBackends() []BackendKind {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	out := make([]BackendKind, 0, len(backendTab)+1)
+	for k := range backendTab {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return append([]BackendKind{BackendSim}, out...)
+}
+
+// defaultBackend is where specs without an explicit Backend run; the zero
+// value is the simulator.
+var defaultBackend BackendKind
+
+// SetDefaultBackend retargets every spec whose Backend field is empty to
+// kind — how cmd/experiments' -backend flag moves existing workloads onto a
+// live cluster wholesale. It is not safe to call concurrently with running
+// experiments. The empty kind (or "sim") restores the simulator.
+func SetDefaultBackend(kind BackendKind) error {
+	if !BackendRegistered(kind) {
+		return fmt.Errorf("bench: backend %q not registered (import delphi/internal/backend)", kind)
+	}
+	defaultBackend = kind
+	return nil
+}
+
+// runSpec dispatches a spec to its backend; the engine's workers and the
+// sequential path both go through it. The simulator path is exactly Run, so
+// specs without a Backend are byte-identical to the pre-axis harness.
+func runSpec(spec RunSpec) (*RunStats, error) {
+	kind := spec.Backend
+	if kind == "" {
+		kind = defaultBackend
+	}
+	if kind == "" || kind == BackendSim {
+		return Run(spec)
+	}
+	backendMu.RLock()
+	b, ok := backendTab[kind]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("bench: backend %q not registered (import delphi/internal/backend)", kind)
+	}
+	spec.Backend = kind
+	st, err := b.run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: %w", kind, err)
+	}
+	return st, nil
+}

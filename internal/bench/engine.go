@@ -63,7 +63,7 @@ func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 	}
 	if w <= 1 {
 		for i := range specs {
-			st, err := Run(specs[i])
+			st, err := runSpec(specs[i])
 			if err != nil {
 				return nil, &TrialError{Index: i, Err: err}
 			}
@@ -87,7 +87,7 @@ func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 				if int64(i) > minFail.Load() {
 					continue
 				}
-				out[i], errs[i] = Run(specs[i])
+				out[i], errs[i] = runSpec(specs[i])
 				if errs[i] != nil {
 					for {
 						cur := minFail.Load()
@@ -281,6 +281,13 @@ type Aggregate struct {
 	MB        Stream
 	Spread    Stream
 	AbsErr    Stream
+	// WallMS summarises real elapsed time per trial, fed only by
+	// wall-clock backends (live/tcp): for simulator trials WallMS.N()
+	// stays 0 and LatencyMS is virtual time, so the two clocks never mix
+	// even in a cross-backend batch. Wall-clock values are measured, not
+	// simulated — they vary run to run and carry no byte-identity
+	// guarantee.
+	WallMS Stream
 	// TotalMsgs counts messages across all trials.
 	TotalMsgs int
 }
@@ -301,5 +308,8 @@ func (a *Aggregate) Observe(st *RunStats) {
 	a.MB.Add(float64(st.TotalBytes) / 1e6)
 	a.Spread.Add(st.Spread)
 	a.AbsErr.Add(st.MeanAbsErr)
+	if st.Wall > 0 {
+		a.WallMS.Add(float64(st.Wall) / float64(time.Millisecond))
+	}
 	a.TotalMsgs += st.TotalMsgs
 }

@@ -67,6 +67,10 @@ type RunSpec struct {
 	// adversary's delay schedule derives deterministically from Seed, so
 	// adversarial runs stay byte-identical across reruns and worker counts.
 	Adversary netadv.Adversary
+	// Backend selects the execution backend; the zero value is the
+	// simulator. Live kinds must be registered (import
+	// delphi/internal/backend) before the engine can run them.
+	Backend BackendKind
 }
 
 // ByzKind names a Byzantine behaviour for RunSpec.Byzantine slots.
@@ -101,6 +105,13 @@ type RunStats struct {
 	// SigVerifies and Pairings total the charged crypto work.
 	SigVerifies int
 	Pairings    int
+	// Backend records which backend produced the stats (zero = simulator).
+	Backend BackendKind
+	// Wall is the run's real elapsed time on a wall-clock backend
+	// (live/tcp); it is zero on the simulator, whose Latency is virtual
+	// time. Wall is measured, not simulated, so it varies run to run and
+	// is excluded from byte-identity guarantees.
+	Wall time.Duration
 }
 
 // defaultRounds derives the baselines' halving-round count from Delphi's
@@ -157,13 +168,17 @@ func (s RunSpec) byzProcess(i int) node.Process {
 	}
 }
 
-// Run executes the spec in the simulator.
-func Run(spec RunSpec) (*RunStats, error) {
-	cfg := node.Config{N: spec.N, F: spec.F}
-	procs := make([]node.Process, spec.N)
-	for i, v := range spec.Inputs {
-		if spec.byzSlot(i) {
-			procs[i] = spec.byzProcess(i)
+// Processes builds the spec's node processes: protocol instances for the
+// live honest slots, adversarial processes for the Byzantine slots, and nil
+// entries for crashed (NaN-input) slots. The same processes run unchanged
+// under the simulator and the live runtime backends — node.Process is the
+// shared contract.
+func (s RunSpec) Processes() ([]node.Process, error) {
+	cfg := node.Config{N: s.N, F: s.F}
+	procs := make([]node.Process, s.N)
+	for i, v := range s.Inputs {
+		if s.byzSlot(i) {
+			procs[i] = s.byzProcess(i)
 			continue
 		}
 		if math.IsNaN(v) {
@@ -173,26 +188,91 @@ func Run(spec RunSpec) (*RunStats, error) {
 			p   node.Process
 			err error
 		)
-		switch spec.Protocol {
+		switch s.Protocol {
 		case ProtoDelphi:
 			p, err = core.New(core.Config{
 				Config:             cfg,
-				Params:             spec.Delphi,
-				DisableCompression: spec.NoCompression,
+				Params:             s.Delphi,
+				DisableCompression: s.NoCompression,
 			}, v)
 		case ProtoFIN:
-			p, err = acs.New(acs.Config{Config: cfg, CoinSeed: uint64(spec.Seed) + 0xc01}, v)
+			p, err = acs.New(acs.Config{Config: cfg, CoinSeed: uint64(s.Seed) + 0xc01}, v)
 		case ProtoAbraham:
-			p, err = aaa.NewAbraham(aaa.AbrahamConfig{Config: cfg, Rounds: spec.defaultRounds()}, v)
+			p, err = aaa.NewAbraham(aaa.AbrahamConfig{Config: cfg, Rounds: s.defaultRounds()}, v)
 		case ProtoDolev:
-			p, err = aaa.NewDolev(aaa.DolevConfig{N: spec.N, F: spec.F, Rounds: spec.defaultRounds()}, v)
+			p, err = aaa.NewDolev(aaa.DolevConfig{N: s.N, F: s.F, Rounds: s.defaultRounds()}, v)
 		default:
-			return nil, fmt.Errorf("bench: unknown protocol %q", spec.Protocol)
+			return nil, fmt.Errorf("bench: unknown protocol %q", s.Protocol)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: node %d: %w", i, err)
 		}
 		procs[i] = p
+	}
+	return procs, nil
+}
+
+// HonestSlots lists the slots that carry honest, live protocol instances
+// (not crashed, not Byzantine) — the nodes whose outputs count.
+func (s RunSpec) HonestSlots() []int {
+	out := make([]int, 0, s.N)
+	for i, v := range s.Inputs {
+		if !math.IsNaN(v) && !s.byzSlot(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StatsFromOutputs assembles the output-derived half of RunStats — Outputs,
+// Spread, MeanAbsErr, and Latency — from each node's final output value and
+// decision time. finals and at are indexed by slot; crashed and Byzantine
+// slots are ignored, and every honest slot must have decided. Backends add
+// their own traffic and compute accounting on top.
+func (s RunSpec) StatsFromOutputs(finals []any, at []time.Duration) (*RunStats, error) {
+	stats := &RunStats{Backend: s.Backend}
+	var honestSum float64
+	var honestCount int
+	for i, v := range s.Inputs {
+		if !math.IsNaN(v) && !s.byzSlot(i) {
+			honestSum += v
+			honestCount++
+		}
+	}
+	if honestCount == 0 {
+		// Every slot was crashed or Byzantine: there is no honest
+		// measurement to report, only NaN means and ±Inf spreads.
+		return nil, fmt.Errorf("bench: %s run has no live honest node (n=%d)", s.Protocol, s.N)
+	}
+	honestMean := honestSum / float64(honestCount)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range s.HonestSlots() {
+		if finals[i] == nil {
+			return nil, fmt.Errorf("bench: %s node %d produced no output", s.Protocol, i)
+		}
+		out, err := extractOutput(finals[i])
+		if err != nil {
+			return nil, fmt.Errorf("bench: node %d: %w", i, err)
+		}
+		stats.Outputs = append(stats.Outputs, out)
+		if at[i] > stats.Latency {
+			stats.Latency = at[i]
+		}
+		lo = math.Min(lo, out)
+		hi = math.Max(hi, out)
+		stats.MeanAbsErr += math.Abs(out - honestMean)
+	}
+	stats.Spread = hi - lo
+	stats.MeanAbsErr /= float64(len(stats.Outputs))
+	return stats, nil
+}
+
+// Run executes the spec in the simulator.
+func Run(spec RunSpec) (*RunStats, error) {
+	cfg := node.Config{N: spec.N, F: spec.F}
+	procs, err := spec.Processes()
+	if err != nil {
+		return nil, err
 	}
 	if err := spec.Adversary.Validate(); err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
@@ -207,46 +287,26 @@ func Run(spec RunSpec) (*RunStats, error) {
 	}
 	res := runner.Run()
 
-	stats := &RunStats{TotalBytes: res.TotalBytes, TotalMsgs: res.TotalMsgs}
-	var honestSum float64
-	var honestCount int
-	for i, v := range spec.Inputs {
-		if !math.IsNaN(v) && !spec.byzSlot(i) {
-			honestSum += v
-			honestCount++
-		}
-	}
-	honestMean := honestSum / float64(honestCount)
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for i := range procs {
-		if procs[i] == nil || spec.byzSlot(i) {
-			continue
-		}
+	finals := make([]any, spec.N)
+	at := make([]time.Duration, spec.N)
+	for _, i := range spec.HonestSlots() {
 		st := res.Stats[i]
 		if len(st.Output) == 0 {
 			return nil, fmt.Errorf("bench: %s node %d produced no output (vtime=%v)", spec.Protocol, i, res.Time)
 		}
-		out, err := extractOutput(st.Output[len(st.Output)-1])
-		if err != nil {
-			return nil, fmt.Errorf("bench: node %d: %w", i, err)
-		}
-		stats.Outputs = append(stats.Outputs, out)
-		if st.OutputAt > stats.Latency {
-			stats.Latency = st.OutputAt
-		}
-		lo = math.Min(lo, out)
-		hi = math.Max(hi, out)
-		stats.MeanAbsErr += math.Abs(out - honestMean)
-		stats.SigVerifies += st.Compute.SigVerifies
-		stats.Pairings += st.Compute.Pairings
+		finals[i] = st.Output[len(st.Output)-1]
+		at[i] = st.OutputAt
 	}
-	if len(stats.Outputs) == 0 {
-		// Every slot was crashed or Byzantine: there is no honest
-		// measurement to report, only NaN means and ±Inf spreads.
-		return nil, fmt.Errorf("bench: %s run has no live honest node (n=%d)", spec.Protocol, spec.N)
+	stats, err := spec.StatsFromOutputs(finals, at)
+	if err != nil {
+		return nil, err
 	}
-	stats.Spread = hi - lo
-	stats.MeanAbsErr /= float64(len(stats.Outputs))
+	stats.TotalBytes = res.TotalBytes
+	stats.TotalMsgs = res.TotalMsgs
+	for _, i := range spec.HonestSlots() {
+		stats.SigVerifies += res.Stats[i].Compute.SigVerifies
+		stats.Pairings += res.Stats[i].Compute.Pairings
+	}
 	return stats, nil
 }
 

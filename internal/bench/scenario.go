@@ -116,8 +116,13 @@ type Scenario struct {
 	// ByzKind selects the adversarial behaviour.
 	ByzKind ByzKind
 	// Adversary installs a network adversary (adversarial scheduling) for
-	// every trial; the zero value is a clean network.
+	// every trial; the zero value is a clean network. Live backends
+	// inject the same presets into their transports, scaled to wall time.
 	Adversary netadv.Adversary
+	// Backend selects the execution backend for every trial; the zero
+	// value is the simulator. Cells on other backends render as
+	// "/be=live" etc. in matrix names.
+	Backend BackendKind
 	// Trials is the per-scenario trial count (default 1). Trial i runs at
 	// seed TrialSeed(base, i) with freshly shaped inputs.
 	Trials int
@@ -164,6 +169,10 @@ func (s Scenario) Validate() error {
 	if err := s.Adversary.Validate(); err != nil {
 		return fmt.Errorf("bench: scenario %q: %w", s.Name, err)
 	}
+	if !BackendRegistered(s.Backend) {
+		return fmt.Errorf("bench: scenario %q: backend %q not registered (import delphi/internal/backend)",
+			s.Name, s.Backend)
+	}
 	return nil
 }
 
@@ -191,6 +200,7 @@ func (s Scenario) Spec(baseSeed int64, trial int) RunSpec {
 		Byzantine:     s.Byzantine,
 		ByzKind:       s.ByzKind,
 		Adversary:     s.Adversary,
+		Backend:       s.Backend,
 	}
 }
 
@@ -236,8 +246,8 @@ func (e *Engine) RunScenario(s Scenario, baseSeed int64, keepSamples bool) (*Sce
 type Matrix struct {
 	// Base supplies every field the axes don't override.
 	Base Scenario
-	// Envs, Ns, Deltas, Shapes, CrashCounts, ByzCounts, and Adversaries are
-	// the axes.
+	// Envs, Ns, Deltas, Shapes, CrashCounts, ByzCounts, Adversaries, and
+	// Backends are the axes.
 	Envs        []sim.Environment
 	Ns          []int
 	Deltas      []float64
@@ -245,6 +255,10 @@ type Matrix struct {
 	CrashCounts []int
 	ByzCounts   []int
 	Adversaries []netadv.Adversary
+	// Backends crosses every cell with the listed execution backends
+	// (Env describes the simulated testbed and is ignored by the live
+	// backends, which run on the real host).
+	Backends []BackendKind
 }
 
 // Scenarios expands the matrix to the cross-product of its axes, naming
@@ -278,6 +292,10 @@ func (m Matrix) Scenarios() []Scenario {
 	if len(advs) == 0 {
 		advs = []netadv.Adversary{m.Base.Adversary}
 	}
+	backends := m.Backends
+	if len(backends) == 0 {
+		backends = []BackendKind{m.Base.Backend}
+	}
 	var out []Scenario
 	for _, env := range envs {
 		for _, n := range ns {
@@ -286,32 +304,38 @@ func (m Matrix) Scenarios() []Scenario {
 					for _, cr := range crashes {
 						for _, bz := range byzs {
 							for _, adv := range advs {
-								s := m.Base
-								s.Env = env
-								s.N = n
-								// An explicit base F only makes sense at the
-								// base's n; cells at other sizes re-derive
-								// (N-1)/3.
-								s.F = 0
-								if m.Base.F > 0 && n == m.Base.N {
-									s.F = m.Base.F
+								for _, be := range backends {
+									s := m.Base
+									s.Env = env
+									s.N = n
+									// An explicit base F only makes sense at the
+									// base's n; cells at other sizes re-derive
+									// (N-1)/3.
+									s.F = 0
+									if m.Base.F > 0 && n == m.Base.N {
+										s.F = m.Base.F
+									}
+									s.Delta = d
+									s.Shape = sh
+									s.Crashes = cr
+									s.Byzantine = bz
+									s.Adversary = adv
+									s.Backend = be
+									s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
+									if cr > 0 {
+										s.Name += fmt.Sprintf("/crash=%d", cr)
+									}
+									if bz > 0 {
+										s.Name += fmt.Sprintf("/byz=%d", bz)
+									}
+									if adv.Kind != netadv.None {
+										s.Name += fmt.Sprintf("/adv=%s", adv)
+									}
+									if be != "" && be != BackendSim {
+										s.Name += fmt.Sprintf("/be=%s", be)
+									}
+									out = append(out, s)
 								}
-								s.Delta = d
-								s.Shape = sh
-								s.Crashes = cr
-								s.Byzantine = bz
-								s.Adversary = adv
-								s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
-								if cr > 0 {
-									s.Name += fmt.Sprintf("/crash=%d", cr)
-								}
-								if bz > 0 {
-									s.Name += fmt.Sprintf("/byz=%d", bz)
-								}
-								if adv.Kind != netadv.None {
-									s.Name += fmt.Sprintf("/adv=%s", adv)
-								}
-								out = append(out, s)
 							}
 						}
 					}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFitFrechetMLERecovery pins the 3-parameter fit: sampling a Fréchet
+// law with a non-zero location and refitting must recover all three
+// parameters — exactly what the loc-0 moments fit cannot do.
+func TestFitFrechetMLERecovery(t *testing.T) {
+	cases := []Frechet{
+		{Loc: 50, Scale: 10, Alpha: 3},
+		{Loc: 200, Scale: 5, Alpha: 2.2},
+		{Loc: 0, Scale: 29.3, Alpha: 4.41}, // the paper's Fig. 4 fit
+	}
+	for _, truth := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			xs := make([]float64, 4000)
+			for i := range xs {
+				xs[i] = truth.Sample(rng)
+			}
+			got, err := FitFrechetMLE(xs)
+			if err != nil {
+				t.Fatalf("truth %+v seed %d: %v", truth, seed, err)
+			}
+			if math.Abs(got.Loc-truth.Loc) > 2+0.05*math.Abs(truth.Loc) {
+				t.Errorf("truth %+v seed %d: Loc = %g", truth, seed, got.Loc)
+			}
+			if math.Abs(got.Scale-truth.Scale)/truth.Scale > 0.15 {
+				t.Errorf("truth %+v seed %d: Scale = %g", truth, seed, got.Scale)
+			}
+			if math.Abs(got.Alpha-truth.Alpha)/truth.Alpha > 0.15 {
+				t.Errorf("truth %+v seed %d: Alpha = %g", truth, seed, got.Alpha)
+			}
+		}
+	}
+}
+
+// TestFitFrechetMLEBeatsMoments quantifies the refinement: on a shifted
+// Fréchet law the moments fit (location pinned at 0) must misfit badly and
+// the MLE must fit well, by KS distance and by likelihood.
+func TestFitFrechetMLEBeatsMoments(t *testing.T) {
+	truth := Frechet{Loc: 200, Scale: 5, Alpha: 2.2}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+	}
+	mom, err := FitFrechet(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mle, err := FitFrechetMLE(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksMom, ksMLE := KS(xs, mom), KS(xs, mle)
+	if ksMLE > ksMom/5 {
+		t.Errorf("KS(mle) = %g, want at least 5x below KS(mom) = %g", ksMLE, ksMom)
+	}
+	if llMom, llMLE := frechetLogLik(xs, mom), frechetLogLik(xs, mle); llMLE < llMom {
+		t.Errorf("refinement lowered the log-likelihood: %g < %g", llMLE, llMom)
+	}
+}
+
+// TestFitFrechetMLENeverWorseThanSeed pins the refinement contract on data
+// the moments fit already handles well (a loc-0 law): the MLE result's
+// likelihood must never drop below the seed's.
+func TestFitFrechetMLENeverWorseThanSeed(t *testing.T) {
+	truth := Frechet{Loc: 0, Scale: 29.3, Alpha: 4.41}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1000)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		mom, err := FitFrechet(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mle, err := FitFrechetMLE(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if llMom, llMLE := frechetLogLik(xs, mom), frechetLogLik(xs, mle); llMLE < llMom {
+			t.Errorf("seed %d: MLE log-likelihood %g below seed %g", seed, llMLE, llMom)
+		}
+		if mle.Loc >= xs[minIndex(xs)] {
+			t.Errorf("seed %d: Loc %g not strictly below the smallest sample", seed, mle.Loc)
+		}
+	}
+}
+
+func minIndex(xs []float64) int {
+	mi := 0
+	for i, v := range xs {
+		if v < xs[mi] {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// TestFitFrechetMLEErrors pins the seed's input contract carrying over.
+func TestFitFrechetMLEErrors(t *testing.T) {
+	if _, err := FitFrechetMLE([]float64{1}); err == nil {
+		t.Error("single sample: want error")
+	}
+	if _, err := FitFrechetMLE([]float64{-1, 2, 3}); err == nil {
+		t.Error("non-positive sample: want error")
+	}
+	if _, err := FitFrechetMLE([]float64{2, 2, 2}); err == nil {
+		t.Error("zero variance: want error")
+	}
+}

@@ -72,6 +72,40 @@ func (k Kind) String() string {
 	return string(k)
 }
 
+// Placement selects how a preset picks its targets — which nodes are slow,
+// gray-failed, or on which side of a partition.
+type Placement int
+
+// The available placements.
+const (
+	// PlaceDefault keeps each preset's historical targets, a fixed
+	// function of n and f: SlowF slows slots [0, f) (the pinned δ
+	// extremes), Gray victimises node n/2, Partition cuts lower half from
+	// upper half. The zero value, so existing adversaries are
+	// byte-identical to before the knob existed.
+	PlaceDefault Placement = iota
+	// PlaceSeeded derives the targets from the run seed instead: SlowF
+	// slows a seed-chosen set of f slots, Gray victimises a seed-chosen
+	// node, Partition cuts a seed-chosen bipartition. Sweeping seeds then
+	// sweeps placements, letting a trial corpus search for a protocol's
+	// worst-case targeting instead of measuring one fixed case. CoinRush
+	// and JitterStorm target message types, not nodes, so placement does
+	// not change them.
+	PlaceSeeded
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceDefault:
+		return "default"
+	case PlaceSeeded:
+		return "seeded"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
 // Adversary is a named, parameterised network adversary. The zero value is
 // no adversary.
 type Adversary struct {
@@ -79,14 +113,21 @@ type Adversary struct {
 	Kind Kind
 	// Severity scales the preset's delays; 0 means the preset default (1.0).
 	Severity float64
+	// Placement selects target placement; the zero value keeps the
+	// preset's historical fixed targets.
+	Placement Placement
 }
 
 // String implements fmt.Stringer.
 func (a Adversary) String() string {
+	s := a.Kind.String()
 	if a.Severity != 0 && a.Severity != 1 {
-		return fmt.Sprintf("%s×%g", a.Kind, a.Severity)
+		s = fmt.Sprintf("%s×%g", a.Kind, a.Severity)
 	}
-	return a.Kind.String()
+	if a.Placement != PlaceDefault {
+		s += "@" + a.Placement.String()
+	}
+	return s
 }
 
 // severity returns the delay multiplier.
@@ -136,24 +177,47 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 	case None:
 		return nil
 	case SlowF:
-		// Slots [0, f) are honest under the harness' fault placement
-		// (crashes and Byzantine nodes occupy the top f slots), and include
-		// the pinned δ extremes.
 		slow := f
 		if slow < 1 {
 			slow = 1
 		}
+		slowSet := make([]bool, n)
+		if a.Placement == PlaceSeeded {
+			// A seed-derived set of `slow` distinct slots (partial
+			// Fisher–Yates over the identity permutation).
+			next := placementRng(seed, slowFSalt)
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			for i := 0; i < slow; i++ {
+				j := i + int(next()%uint64(n-i))
+				perm[i], perm[j] = perm[j], perm[i]
+				slowSet[perm[i]] = true
+			}
+		} else {
+			// Slots [0, f) are honest under the harness' fault placement
+			// (crashes and Byzantine nodes occupy the top f slots), and
+			// include the pinned δ extremes.
+			for i := 0; i < slow; i++ {
+				slowSet[i] = true
+			}
+		}
 		d := scale(slowFDelay)
 		return func(_ time.Duration, from, _ node.ID, _ node.Message) time.Duration {
-			if int(from) < slow {
+			if slowSet[from] {
 				return d
 			}
 			return 0
 		}
 	case Gray:
-		// The victim sits mid-range: never a pinned extreme, never a fault
-		// slot. Links to/from peers of opposite parity degrade.
+		// By default the victim sits mid-range: never a pinned extreme,
+		// never a fault slot. Seeded placement picks any node. Links
+		// to/from peers of opposite parity degrade.
 		victim := node.ID(n / 2)
+		if a.Placement == PlaceSeeded {
+			victim = node.ID(placementRng(seed, graySalt)() % uint64(n))
+		}
 		d := scale(grayDelay)
 		return func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
 			if from == victim && (int(to)-int(victim))%2 != 0 {
@@ -165,14 +229,28 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 			return 0
 		}
 	case Partition:
+		// By default the cut splits lower half from upper half; seeded
+		// placement draws a random bipartition (pinned so neither side is
+		// empty).
+		side := make([]bool, n)
+		if a.Placement == PlaceSeeded {
+			next := placementRng(seed, partitionSalt)
+			for i := range side {
+				side[i] = next()&1 == 1
+			}
+			side[0], side[n-1] = false, true
+		} else {
+			for i := range side {
+				side[i] = i >= n/2
+			}
+		}
 		heal := scale(partitionHeal)
 		stag := scale(partitionStag)
 		return func(at time.Duration, from, to node.ID, _ node.Message) time.Duration {
 			if at >= heal {
 				return 0
 			}
-			crossed := (int(from) < n/2) != (int(to) < n/2)
-			if !crossed {
+			if side[from] == side[to] {
 				return 0
 			}
 			// Held until the heal, then released with a deterministic
@@ -215,7 +293,8 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 	}
 }
 
-// Validate rejects unknown kinds and negative severities.
+// Validate rejects unknown kinds, negative severities, and unknown
+// placements.
 func (a Adversary) Validate() error {
 	switch a.Kind {
 	case None, SlowF, Gray, Partition, CoinRush, JitterStorm:
@@ -225,15 +304,44 @@ func (a Adversary) Validate() error {
 	if a.Severity < 0 {
 		return fmt.Errorf("netadv: negative severity %g", a.Severity)
 	}
+	switch a.Placement {
+	case PlaceDefault, PlaceSeeded:
+	default:
+		return fmt.Errorf("netadv: unknown placement %d", int(a.Placement))
+	}
 	return nil
+}
+
+// Placement-stream salts, one per preset so a shared seed never correlates
+// the targets of different presets.
+const (
+	slowFSalt     = 0x51f0_5e7_0001
+	graySalt      = 0x6a7a_11c_0002
+	partitionSalt = 0x9a47_b0d_0003
+)
+
+// placementRng returns a splitmix64 stream over (seed, salt) for target
+// selection — deterministic per run seed, so placements are byte-identical
+// across reruns and worker counts like everything else.
+func placementRng(seed int64, salt uint64) func() uint64 {
+	z := uint64(seed) ^ salt
+	return func() uint64 {
+		z += 0x9e3779b97f4a7c15
+		return splitmix64(z)
+	}
+}
+
+// splitmix64 is the shared avalanche finalizer behind msgHash and
+// placementRng.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // msgHash mixes the per-message coordinates with the seed via splitmix64:
 // deterministic, well-dispersed, and cheap enough for the dispatch hot path.
 func msgHash(seed int64, at time.Duration, from, to node.ID, size int) uint64 {
-	z := uint64(seed) ^ uint64(at)*0x9e3779b97f4a7c15 ^
-		uint64(from)<<32 ^ uint64(to)<<16 ^ uint64(size)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return splitmix64(uint64(seed) ^ uint64(at)*0x9e3779b97f4a7c15 ^
+		uint64(from)<<32 ^ uint64(to)<<16 ^ uint64(size))
 }

@@ -154,15 +154,37 @@ func Register(reg *wire.Registry) error {
 	return reg.Register(wire.TypeRBCReady, DecodeReady)
 }
 
+// voteSet counts distinct voters with a bitset — one allocation per
+// distinct payload instead of a map bucket per vote, and O(1) duplicate
+// checks without hashing.
+type voteSet struct {
+	bits  []uint64
+	count int
+}
+
+func newVoteSet(n int) *voteSet { return &voteSet{bits: make([]uint64, (n+63)/64)} }
+
+// add records voter id, reporting whether it was new.
+func (s *voteSet) add(id node.ID) bool {
+	w, b := uint(id)/64, uint(id)%64
+	if s.bits[w]&(1<<b) != 0 {
+		return false
+	}
+	s.bits[w] |= 1 << b
+	s.count++
+	return true
+}
+
 // instance is the per-broadcast state machine.
 type instance struct {
 	echoed    bool
 	readied   bool
 	delivered bool
 	// echoes and readies count votes per distinct payload (keyed by string
-	// conversion of the payload bytes).
-	echoes  map[string]map[node.ID]bool
-	readies map[string]map[node.ID]bool
+	// conversion of the payload bytes), allocated lazily on the first echo
+	// or ready for the instance.
+	echoes  map[string]*voteSet
+	readies map[string]*voteSet
 }
 
 // Engine runs all RBC instances for one node. Embed it in a protocol and
@@ -183,10 +205,7 @@ func NewEngine(cfg node.Config, env node.Env, deliver func(Key, []byte)) *Engine
 func (e *Engine) inst(k Key) *instance {
 	x, ok := e.insts[k]
 	if !ok {
-		x = &instance{
-			echoes:  make(map[string]map[node.ID]bool),
-			readies: make(map[string]map[node.ID]bool),
-		}
+		x = &instance{}
 		e.insts[k] = x
 	}
 	return x
@@ -226,17 +245,20 @@ func (e *Engine) onInit(from node.ID, m *Init) {
 func (e *Engine) onEcho(from node.ID, m *Echo) {
 	k := Key{Initiator: m.Initiator, Tag: m.Tag}
 	x := e.inst(k)
-	p := string(m.Payload)
-	s := x.echoes[p]
+	// The map lookup converts without allocating; the payload string is
+	// materialised only when a new per-payload set is inserted.
+	s := x.echoes[string(m.Payload)]
 	if s == nil {
-		s = make(map[node.ID]bool)
-		x.echoes[p] = s
+		if x.echoes == nil {
+			x.echoes = make(map[string]*voteSet, 1)
+		}
+		s = newVoteSet(e.cfg.N)
+		x.echoes[string(m.Payload)] = s
 	}
-	if s[from] {
+	if !s.add(from) {
 		return
 	}
-	s[from] = true
-	if len(s) >= e.cfg.Quorum() && !x.readied {
+	if s.count >= e.cfg.Quorum() && !x.readied {
 		x.readied = true
 		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
 	}
@@ -245,23 +267,24 @@ func (e *Engine) onEcho(from node.ID, m *Echo) {
 func (e *Engine) onReady(from node.ID, m *Ready) {
 	k := Key{Initiator: m.Initiator, Tag: m.Tag}
 	x := e.inst(k)
-	p := string(m.Payload)
-	s := x.readies[p]
+	s := x.readies[string(m.Payload)]
 	if s == nil {
-		s = make(map[node.ID]bool)
-		x.readies[p] = s
+		if x.readies == nil {
+			x.readies = make(map[string]*voteSet, 1)
+		}
+		s = newVoteSet(e.cfg.N)
+		x.readies[string(m.Payload)] = s
 	}
-	if s[from] {
+	if !s.add(from) {
 		return
 	}
-	s[from] = true
 	// Amplify on t+1 READYs.
-	if len(s) >= e.cfg.F+1 && !x.readied {
+	if s.count >= e.cfg.F+1 && !x.readied {
 		x.readied = true
 		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
 	}
 	// Deliver on 2t+1 READYs.
-	if len(s) >= 2*e.cfg.F+1 && !x.delivered {
+	if s.count >= 2*e.cfg.F+1 && !x.delivered {
 		x.delivered = true
 		e.deliver(k, m.Payload)
 	}

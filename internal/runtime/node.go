@@ -143,14 +143,3 @@ func (d *Driver) Run(ctx context.Context) error {
 		}
 	}
 }
-
-// AuthedDriver builds the driver plus authenticated hub endpoint for an
-// in-process cluster node.
-func AuthedDriver(cfg node.Config, id node.ID, proc node.Process, hub *Hub, master []byte, reg *wire.Registry) (*Driver, error) {
-	a, err := auth.New(id, cfg.N, master)
-	if err != nil {
-		return nil, err
-	}
-	tr := hub.Endpoint(id, a)
-	return NewDriver(cfg, id, proc, tr, a, reg), nil
-}

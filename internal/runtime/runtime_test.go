@@ -196,9 +196,10 @@ func goroutinesSettle(t *testing.T, base int) {
 	}
 }
 
-// TestRunClusterDriverErrorLeaksNothing pins the satellite fix: a failing
-// AuthedDriver (empty master secret) must return an error before any node
-// goroutine launches, leaving no goroutines or open hub behind.
+// TestRunClusterDriverErrorLeaksNothing pins construct-before-launch: a
+// failing driver construction (empty master secret fails auth.New) must
+// return an error before any node goroutine launches, leaving no
+// goroutines or open hub behind.
 func TestRunClusterDriverErrorLeaksNothing(t *testing.T) {
 	cfg := liveCfg(4, 1)
 	procs := make([]node.Process, cfg.N)

@@ -129,12 +129,23 @@ type tcpTransport struct {
 	ln    net.Listener
 	auth  *auth.Auth
 
+	// mu guards the connection maps only — never a blocking Write. Each
+	// outbound connection carries its own writer lock (tcpConn.mu) for
+	// frame atomicity, so Close can always take mu and close the
+	// underlying conns, unblocking any writer stuck on a saturated peer.
 	mu       sync.Mutex
-	conns    map[node.ID]net.Conn
+	closed   bool
+	conns    map[node.ID]*tcpConn
 	accepted []net.Conn
 	in       chan Frame
 	done     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// tcpConn is one outbound connection with its frame-write lock.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
 }
 
 var _ Transport = (*tcpTransport)(nil)
@@ -148,7 +159,7 @@ func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transpo
 		addrs: addrs,
 		ln:    ln,
 		auth:  a,
-		conns: make(map[node.ID]net.Conn),
+		conns: make(map[node.ID]*tcpConn),
 		in:    make(chan Frame, 1024),
 		done:  make(chan struct{}),
 	}
@@ -197,9 +208,14 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	}
 }
 
-func (t *tcpTransport) conn(to node.ID) (net.Conn, error) {
+func (t *tcpTransport) conn(to node.ID) (*tcpConn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		// Without this check a Send racing Close would re-dial and park a
+		// fresh connection in the map nobody will ever close.
+		return nil, fmt.Errorf("runtime: transport closed")
+	}
 	if c, ok := t.conns[to]; ok {
 		return c, nil
 	}
@@ -207,8 +223,19 @@ func (t *tcpTransport) conn(to node.ID) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.conns[to] = c
-	return c, nil
+	tc := &tcpConn{c: c}
+	t.conns[to] = tc
+	return tc, nil
+}
+
+// dropConn removes a failed connection (if still current) and closes it.
+func (t *tcpTransport) dropConn(to node.ID, tc *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == tc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	tc.c.Close()
 }
 
 func (t *tcpTransport) Send(to node.ID, frame []byte) error {
@@ -216,21 +243,24 @@ func (t *tcpTransport) Send(to node.ID, frame []byte) error {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
 	sealed := t.auth.Seal(to, frame)
-	c, err := t.conn(to)
+	tc, err := t.conn(to)
 	if err != nil {
 		return fmt.Errorf("runtime: dial %v: %w", to, err)
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.self))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(sealed)))
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, err := c.Write(hdr[:]); err != nil {
-		delete(t.conns, to)
+	// Serialise frame writes per connection, not transport-wide: a writer
+	// blocked on a saturated peer must not stop Close (or sends to other
+	// peers); Close unblocks it by closing the conn under its feet.
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		t.dropConn(to, tc)
 		return err
 	}
-	if _, err := c.Write(sealed); err != nil {
-		delete(t.conns, to)
+	if _, err := tc.c.Write(sealed); err != nil {
+		t.dropConn(to, tc)
 		return err
 	}
 	return nil
@@ -239,16 +269,16 @@ func (t *tcpTransport) Send(to node.ID, frame []byte) error {
 func (t *tcpTransport) Recv() <-chan Frame { return t.in }
 
 func (t *tcpTransport) Close() error {
-	select {
-	case <-t.done:
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
 		return nil
-	default:
 	}
+	t.closed = true
 	close(t.done)
 	err := t.ln.Close()
-	t.mu.Lock()
-	for _, c := range t.conns {
-		c.Close()
+	for _, tc := range t.conns {
+		tc.c.Close()
 	}
 	for _, c := range t.accepted {
 		c.Close()

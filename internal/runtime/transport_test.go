@@ -1,0 +1,278 @@
+package runtime_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"delphi/internal/auth"
+	"delphi/internal/codec"
+	"delphi/internal/core"
+	"delphi/internal/node"
+	"delphi/internal/runtime"
+)
+
+// tcpPair builds two TCP transports wired at each other over loopback,
+// returning both plus node 1's re-usable address list.
+func tcpPair(t *testing.T, master []byte) (a, b runtime.Transport, addrs []string, auths []*auth.Auth) {
+	t.Helper()
+	auths = make([]*auth.Auth, 2)
+	lns := make([]net.Listener, 2)
+	addrs = make([]string, 2)
+	for i := range lns {
+		au, err := auth.New(node.ID(i), 2, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = au
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	a = runtime.NewTCP(0, addrs, lns[0], auths[0])
+	b = runtime.NewTCP(1, addrs, lns[1], auths[1])
+	return a, b, addrs, auths
+}
+
+// recvFrame drains one frame with a deadline.
+func recvFrame(t *testing.T, tr runtime.Transport, timeout time.Duration) (runtime.Frame, bool) {
+	t.Helper()
+	select {
+	case f, ok := <-tr.Recv():
+		return f, ok
+	case <-time.After(timeout):
+		return runtime.Frame{}, false
+	}
+}
+
+// TestTCPReconnectAfterPeerRestart pins the transport's fault recovery: a
+// peer whose transport dies and comes back on the same address must become
+// reachable again — the sender's stale cached connection fails at most a
+// few sends (faults are tolerated as delays, never as drops forever) and a
+// redial picks the restarted listener up.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	master := []byte("restart-master")
+	trA, trB, addrs, auths := tcpPair(t, master)
+	defer trA.Close()
+	defer trB.Close()
+
+	frame1 := []byte{1, 0xaa, 0xbb}
+	if err := trA.Send(1, frame1); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := recvFrame(t, trB, 5*time.Second)
+	if !ok {
+		t.Fatal("first frame never arrived")
+	}
+	if got, err := auths[1].Open(f.From, f.Data); err != nil || !bytes.Equal(got, frame1) {
+		t.Fatalf("first frame corrupted: %v %v", got, err)
+	}
+
+	// Kill node 1's transport and restart it on the same address.
+	if err := trB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var lnB2 net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		lnB2, err = net.Listen("tcp", addrs[1])
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addrs[1], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	trB2 := runtime.NewTCP(1, addrs, lnB2, auths[1])
+	defer trB2.Close()
+
+	// The sender's cached connection is stale: the first sends may error
+	// (triggering the redial) or vanish into a dying socket. Retried sends
+	// must land on the restarted transport.
+	frame2 := []byte{2, 0xcc, 0xdd, 0xee}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_ = trA.Send(1, frame2) // error = stale conn dropped; redial next
+		if f, ok := recvFrame(t, trB2, 100*time.Millisecond); ok {
+			if got, err := auths[1].Open(f.From, f.Data); err != nil || !bytes.Equal(got, frame2) {
+				t.Fatalf("post-restart frame corrupted: %v %v", got, err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted peer never received a frame")
+		}
+	}
+}
+
+// TestTCPCloseDuringInflightSend pins shutdown under fire: Close while
+// several goroutines are mid-Send must not panic, deadlock, or leave sends
+// succeeding afterwards (a post-Close send would re-dial and leak the
+// connection).
+func TestTCPCloseDuringInflightSend(t *testing.T) {
+	trA, trB, _, _ := tcpPair(t, []byte("close-master"))
+	defer trB.Close()
+
+	// Drain the receiver so senders never block on a full TCP window.
+	go func() {
+		for range trB.Recv() {
+		}
+	}()
+
+	frame := bytes.Repeat([]byte{0x5a}, 512)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := trA.Send(1, frame); err != nil {
+					return // transport closed under us — expected
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let sends overlap the close
+	if err := trA.Close(); err != nil {
+		t.Errorf("close during in-flight sends: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := trA.Send(1, frame); err == nil {
+		t.Error("send after Close succeeded; want error (would leak a fresh dial)")
+	}
+	if err := trA.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestTCPFrameIntegrityConcurrentSenders pins framing under concurrency:
+// four senders blast distinct frames at one receiver in parallel; every
+// frame must arrive exactly once, authenticate under its claimed sender,
+// and decode to exactly the bytes sent — no interleaving, truncation, or
+// cross-sender corruption.
+func TestTCPFrameIntegrityConcurrentSenders(t *testing.T) {
+	const (
+		n         = 5 // receiver 0 + four senders
+		perSender = 200
+	)
+	master := []byte("integrity-master")
+	auths := make([]*auth.Auth, n)
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		au, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = au
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]runtime.Transport, n)
+	for i := range trs {
+		trs[i] = runtime.NewTCP(node.ID(i), addrs, lns[i], auths[i])
+		defer trs[i].Close()
+	}
+
+	// Frame payloads are a function of (sender, seq) with sender-dependent
+	// lengths, so any mis-framing shows up as an authentication or
+	// comparison failure.
+	mkFrame := func(sender, seq int) []byte {
+		buf := []byte{byte(sender), byte(seq), byte(seq >> 8)}
+		for i := 0; i < 16+sender*7+seq%13; i++ {
+			buf = append(buf, byte(sender*31+seq*17+i))
+		}
+		return buf
+	}
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for seq := 0; seq < perSender; seq++ {
+				if err := trs[sender].Send(0, mkFrame(sender, seq)); err != nil {
+					t.Errorf("sender %d seq %d: %v", sender, seq, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	seen := make([]map[int]bool, n)
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	for got := 0; got < (n-1)*perSender; got++ {
+		f, ok := recvFrame(t, trs[0], 5*time.Second)
+		if !ok {
+			t.Fatalf("receiver stalled after %d/%d frames", got, (n-1)*perSender)
+		}
+		body, err := auths[0].Open(f.From, f.Data)
+		if err != nil {
+			t.Fatalf("frame %d from %v fails authentication: %v", got, f.From, err)
+		}
+		if len(body) < 3 {
+			t.Fatalf("frame %d truncated: %x", got, body)
+		}
+		sender, seq := int(body[0]), int(body[1])|int(body[2])<<8
+		if node.ID(sender) != f.From {
+			t.Fatalf("frame claims sender %d but authenticated as %v", sender, f.From)
+		}
+		if !bytes.Equal(body, mkFrame(sender, seq)) {
+			t.Fatalf("sender %d seq %d: payload corrupted", sender, seq)
+		}
+		if seen[sender][seq] {
+			t.Fatalf("sender %d seq %d: duplicated", sender, seq)
+		}
+		seen[sender][seq] = true
+	}
+	for s := 1; s < n; s++ {
+		if len(seen[s]) != perSender {
+			t.Errorf("sender %d: %d/%d frames arrived", s, len(seen[s]), perSender)
+		}
+	}
+}
+
+// TestRunClusterWaitForEmptySetErrors pins the WithWaitFor guard: a wait
+// set that resolves to no running driver (nil or out-of-range slots) must
+// fail loudly instead of returning an instant empty "success".
+func TestRunClusterWaitForEmptySetErrors(t *testing.T) {
+	cfg := node.Config{N: 4, F: 1}
+	procs := make([]node.Process, 4) // slot 3 crashed (nil), rest absent too
+	procs[0] = nil
+	// Give the cluster at least one real process so construction succeeds,
+	// but list only dead slots in the wait set.
+	d, err := core.New(core.Config{Config: cfg, Params: core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2}}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs[1] = d
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = runtime.RunCluster(ctx, cfg, procs, []byte("m"), codec.MustRegistry(),
+		runtime.WithWaitFor([]node.ID{3, node.ID(99)}))
+	if err == nil {
+		t.Fatal("empty effective wait set: want error, got success")
+	}
+}

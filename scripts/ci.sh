@@ -49,4 +49,18 @@ if ! cmp -s "$adv1" "$adv2"; then
     exit 1
 fi
 
+# The execution-backend axis is exercised on every run (including -short):
+# the cross-backend validator runs every protocol on the simulator AND a
+# live goroutine cluster from identical specs — clean and under netadv
+# presets injected into the live transport — and fails on any agreement or
+# validity violation, then a sim|live matrix runs as one engine batch.
+# Second line: a real `-backend live` retargeting of an existing workload.
+# Wall-clock columns are real time and non-deterministic by design, so no
+# byte comparison here; the full TCP-cluster smoke lives in the test suite
+# (`TestTCPBackend`, `TestTCPTransportDelphi`) and is -short-gated, so the
+# workflow's full (main) runs cover it while PR runs stay fast.
+echo "== backend smoke =="
+go run ./cmd/experiments -scale quick -seed 1 -run backends > /dev/null
+go run ./cmd/experiments -scale quick -seed 1 -backend live -run matrix > /dev/null
+
 echo "CI OK"
