@@ -5,9 +5,10 @@
 // Usage:
 //
 //	experiments [-scale quick|paper] [-seed N] [-workers K] [-run T1,T2]
-//	            [-backend sim|live|tcp]
+//	            [-backend sim|live|tcp] [-sessions=false]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
-//	             validity tail matrix adversary backends ablations | all]
+//	             validity tail matrix adversary backends sessions
+//	             ablations | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
 // two compose. Quick scale (default) runs reduced node counts and finishes
@@ -23,6 +24,13 @@
 // wall-clock time, so their latency columns are real, non-deterministic
 // durations. The backends target cross-validates protocol outputs across
 // backends regardless of the flag.
+//
+// Backends run trials through persistent sessions by default: each engine
+// worker keeps one substrate per cell (the tcp backend's listeners, the
+// live backend's hub, the simulator's event-queue storage) alive across
+// that cell's trials. -sessions=false forces per-trial setup; results are
+// identical either way. The sessions target smoke-runs a 3-trial tcp cell
+// through a session.
 package main
 
 import (
@@ -54,10 +62,12 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	runFlag := fs.String("run", "", "comma-separated targets to run (adds to positional targets)")
 	backendFlag := fs.String("backend", "sim", "execution backend for the workloads: sim, live, or tcp")
+	sessions := fs.Bool("sessions", true, "reuse backend substrates (listeners, hubs, sim storage) across a cell's trials")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	bench.SetDefaultWorkers(*workers)
+	bench.SetDefaultSessions(*sessions)
 	if err := bench.SetDefaultBackend(bench.BackendKind(*backendFlag)); err != nil {
 		return err
 	}
@@ -82,7 +92,7 @@ func run(args []string) error {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
-			"matrix", "adversary", "backends", "ablations"}
+			"matrix", "adversary", "backends", "sessions", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -180,10 +190,12 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return rep.Text, nil
 	case "backends":
 		return runBackends(scale, seed)
+	case "sessions":
+		return runSessions(scale, seed)
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, ablations)")
 	}
 }
 
@@ -240,6 +252,49 @@ func runBackends(scale bench.Scale, seed int64) (string, error) {
 		}
 		fmt.Fprintf(&b, "  %-40s %10.0f %10s %10.2f %10.3g\n",
 			c.Scenario.Name, c.Agg.LatencyMS.Mean(), wall, c.Agg.MB.Mean(), c.Agg.Spread.Mean())
+	}
+	return b.String(), nil
+}
+
+// runSessions smoke-runs the persistent-session path end to end: one
+// 3-trial (quick) Delphi cell on the tcp backend through the engine, whose
+// workers keep the cell's listeners and connections bound across trials.
+// Per-trial agreement must hold on every trial; the printed wall times are
+// real and non-deterministic.
+func runSessions(scale bench.Scale, seed int64) (string, error) {
+	trials := 3
+	n := 8
+	if scale != bench.Quick {
+		trials, n = 10, 16
+	}
+	spec := bench.RunSpec{
+		Protocol: bench.ProtoDelphi,
+		N:        n,
+		F:        (n - 1) / 3,
+		Env:      sim.AWS(),
+		Seed:     seed,
+		Inputs:   bench.OracleInputs(n, 41000, 20, seed),
+		Delphi:   core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2},
+		Backend:  bench.BackendTCP,
+	}
+	stats, err := bench.DefaultEngine().RunTrials(spec, trials)
+	if err != nil {
+		return "", err
+	}
+	agg := bench.NewAggregate(false)
+	for _, st := range stats {
+		agg.Observe(st)
+	}
+	mode := "one persistent cluster per worker"
+	if bench.DefaultEngine().DisableSessions {
+		mode = "per-trial setup (sessions disabled)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tcp session smoke — %d trials, n=%d, %s\n", trials, n, mode)
+	fmt.Fprintf(&b, "  wall mean %.1f ms   spread max %.3g (ε=%g)   %.2f MB/trial mean\n",
+		agg.WallMS.Mean(), agg.Spread.Max(), spec.Delphi.Eps, agg.MB.Mean())
+	if agg.Spread.Max() > spec.Delphi.Eps {
+		return b.String(), fmt.Errorf("session smoke: agreement violated (spread %g > ε=%g)", agg.Spread.Max(), spec.Delphi.Eps)
 	}
 	return b.String(), nil
 }

@@ -31,6 +31,7 @@ import (
 	"delphi/internal/codec"
 	"delphi/internal/node"
 	"delphi/internal/runtime"
+	"delphi/internal/wire"
 )
 
 // Caps mirrors bench.BackendCaps for callers holding a Backend value.
@@ -120,47 +121,82 @@ func (b TCP) Run(spec bench.RunSpec) (RunResult, error) {
 	return runCluster(spec, bench.BackendTCP, b.Timeout, factory)
 }
 
+// trialScaffold is the per-trial plumbing every live execution needs,
+// built identically by the per-trial path and the persistent sessions so
+// the two cannot drift: processes, adversary wrapper, honest-exit set, and
+// the timeout. Trials are over when every honest node has decided and
+// halted; Byzantine processes (a spammer never halts) must not hold the
+// cluster open until the timeout — hence WaitFor(honest).
+type trialScaffold struct {
+	timeout time.Duration
+	reg     *wire.Registry
+	procs   []node.Process
+	honest  []node.ID
+	wrap    runtime.TransportWrapper
+	acct    *traffic
+}
+
+// newTrialScaffold validates the spec and builds the scaffolding; a zero
+// timeout means DefaultTimeout.
+func newTrialScaffold(spec bench.RunSpec, timeout time.Duration) (*trialScaffold, error) {
+	if err := spec.Adversary.Validate(); err != nil {
+		return nil, err
+	}
+	procs, err := spec.Processes()
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	reg := codec.MustRegistry()
+	rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed)
+	wrap, acct := newAdvWrapper(rule, reg)
+	honest := make([]node.ID, 0, spec.N)
+	for _, i := range spec.HonestSlots() {
+		honest = append(honest, node.ID(i))
+	}
+	return &trialScaffold{
+		timeout: timeout,
+		reg:     reg,
+		procs:   procs,
+		honest:  honest,
+		wrap:    wrap,
+		acct:    acct,
+	}, nil
+}
+
 // runCluster is the shared live execution path: build the spec's processes,
 // wrap every transport with adversary delay + traffic accounting, run the
 // cluster, and assemble RunStats from the honest nodes' final outputs and
 // wall-clock decision times.
 func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duration, factory runtime.TransportFactory) (RunResult, error) {
-	if err := spec.Adversary.Validate(); err != nil {
-		return RunResult{}, err
-	}
-	procs, err := spec.Processes()
+	sc, err := newTrialScaffold(spec, timeout)
 	if err != nil {
 		return RunResult{}, err
 	}
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), sc.timeout)
 	defer cancel()
 
-	reg := codec.MustRegistry()
-	rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed)
-	wrap, acct := newAdvWrapper(rule, reg)
-	// The run is over when every honest node has decided and halted;
-	// Byzantine processes (a spammer never halts) must not hold the
-	// cluster open until the timeout.
-	honest := make([]node.ID, 0, spec.N)
-	for _, i := range spec.HonestSlots() {
-		honest = append(honest, node.ID(i))
-	}
 	opts := []runtime.ClusterOption{
-		runtime.WithTransportWrap(wrap),
-		runtime.WithWaitFor(honest),
+		runtime.WithTransportWrap(sc.wrap),
+		runtime.WithWaitFor(sc.honest),
 	}
 	if factory != nil {
 		opts = append(opts, runtime.WithTransports(factory))
 	}
 	cfg := node.Config{N: spec.N, F: spec.F}
 	master := []byte(fmt.Sprintf("delphi-backend-%s-%d", kind, spec.Seed))
-	res, err := runtime.RunCluster(ctx, cfg, procs, master, reg, opts...)
+	res, err := runtime.RunCluster(ctx, cfg, sc.procs, master, sc.reg, opts...)
 	if err != nil {
 		return RunResult{}, err
 	}
+	return clusterStats(spec, kind, res, sc.acct, ctx, sc.timeout)
+}
+
+// clusterStats assembles a RunResult from a finished cluster run — shared
+// by the per-trial path and the persistent sessions.
+func clusterStats(spec bench.RunSpec, kind bench.BackendKind, res *runtime.ClusterResult, acct *traffic, ctx context.Context, timeout time.Duration) (RunResult, error) {
 	finals := make([]any, spec.N)
 	at := make([]time.Duration, spec.N)
 	for _, i := range spec.HonestSlots() {
@@ -184,7 +220,8 @@ func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duratio
 	return RunResult{Stats: stats, Wall: res.Wall}, nil
 }
 
-// register installs b in the bench registry.
+// register installs b in the bench registry, with session support when the
+// backend implements SessionBackend.
 func register(b Backend) {
 	bench.MustRegisterBackend(b.Name(), b.Caps(), func(spec bench.RunSpec) (*bench.RunStats, error) {
 		r, err := b.Run(spec)
@@ -193,6 +230,18 @@ func register(b Backend) {
 		}
 		return r.Stats, nil
 	})
+	if sb, ok := b.(SessionBackend); ok {
+		bench.MustRegisterBackendSessions(b.Name(), bench.SessionSupport{
+			Key: sb.SessionKey,
+			Open: func(spec bench.RunSpec) (bench.BackendSession, error) {
+				s, err := sb.OpenSession(spec)
+				if err != nil {
+					return nil, err
+				}
+				return benchSession{s: s}, nil
+			},
+		})
+	}
 }
 
 func init() {

@@ -99,18 +99,32 @@ func (t *advTransport) Send(to node.ID, frame []byte) error {
 // Recv implements runtime.Transport.
 func (t *advTransport) Recv() <-chan runtime.Frame { return t.inner.Recv() }
 
-// Close implements runtime.Transport: pending delay timers are released
-// and the wrapped transport is closed first, so a delayed send already
-// past its timer and blocked inside the inner Send is unblocked — waiting
-// for it before closing the inner transport would deadlock exactly when a
-// peer has stopped draining.
-func (t *advTransport) Close() error {
+// detach stops the wrapper without touching the wrapped transport: no new
+// delay timers start and timers still pending are released. It does not
+// wait for delayed sends already past their timer — a session releases its
+// per-trial wrappers this way while the inner transports live on, and
+// waits for the in-flight sends only after its drainers are back (an
+// in-flight send can be blocked on a peer that stopped draining; waiting
+// earlier would deadlock). Safe to call more than once.
+func (t *advTransport) detach() {
 	t.mu.Lock()
 	if !t.closed {
 		t.closed = true
 		close(t.done)
 	}
 	t.mu.Unlock()
+}
+
+// wait blocks until every in-flight delayed send has finished.
+func (t *advTransport) wait() { t.wg.Wait() }
+
+// Close implements runtime.Transport: pending delay timers are released
+// and the wrapped transport is closed first, so a delayed send already
+// past its timer and blocked inside the inner Send is unblocked — waiting
+// for it before closing the inner transport would deadlock exactly when a
+// peer has stopped draining.
+func (t *advTransport) Close() error {
+	t.detach()
 	err := t.inner.Close()
 	t.wg.Wait()
 	return err

@@ -19,6 +19,12 @@ type Engine struct {
 	// Workers bounds the number of concurrent trials; <= 0 means
 	// GOMAXPROCS.
 	Workers int
+	// DisableSessions forces per-trial backend setup: every trial opens
+	// and tears down its own substrate (listeners, connections, simulator
+	// storage) even on backends with session support. Sessions never
+	// change results — this switch exists for the setup-cost benchmarks
+	// and as an escape hatch.
+	DisableSessions bool
 }
 
 // NewEngine returns an engine with the given worker count (<= 0 for
@@ -54,6 +60,13 @@ func (e *TrialError) Unwrap() error { return e.Err }
 // failure it returns the *TrialError of the lowest-indexed failing spec —
 // the same error a sequential loop would hit first, independent of worker
 // count or completion order.
+//
+// Each worker holds one persistent session per backend cell (see
+// BackendSession) and reuses it across every trial it runs for that cell,
+// so per-trial setup — the tcp backend's listener binds and dials, the
+// live backend's hub, the simulator's event-queue storage — is paid once
+// per (cell, worker) instead of once per trial. All sessions close when
+// the batch returns.
 func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 	out := make([]*RunStats, len(specs))
 	errs := make([]error, len(specs))
@@ -61,9 +74,19 @@ func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 	if w > len(specs) {
 		w = len(specs)
 	}
+	sessions := func() *sessionCache {
+		if e != nil && e.DisableSessions {
+			return nil
+		}
+		return newSessionCache()
+	}
 	if w <= 1 {
+		cache := sessions()
+		if cache != nil {
+			defer cache.close()
+		}
 		for i := range specs {
-			st, err := runSpec(specs[i])
+			st, err := runSpecIn(specs[i], cache)
 			if err != nil {
 				return nil, &TrialError{Index: i, Err: err}
 			}
@@ -83,11 +106,15 @@ func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := sessions()
+			if cache != nil {
+				defer cache.close()
+			}
 			for i := range next {
 				if int64(i) > minFail.Load() {
 					continue
 				}
-				out[i], errs[i] = runSpec(specs[i])
+				out[i], errs[i] = runSpecIn(specs[i], cache)
 				if errs[i] != nil {
 					for {
 						cur := minFail.Load()
@@ -116,6 +143,12 @@ func (e *Engine) RunBatch(specs []RunSpec) ([]*RunStats, error) {
 // experiment entry points (Fig6a, Table1, ...); <= 0 restores GOMAXPROCS.
 // It is not safe to call concurrently with running experiments.
 func SetDefaultWorkers(n int) { defaultEngine.Workers = n }
+
+// SetDefaultSessions toggles persistent backend sessions on the shared
+// engine (enabled by default). Disabling forces per-trial setup everywhere
+// — cmd/experiments' -sessions=false, for A/B-ing the amortisation. It is
+// not safe to call concurrently with running experiments.
+func SetDefaultSessions(enabled bool) { defaultEngine.DisableSessions = !enabled }
 
 // DefaultEngine returns the shared engine the package-level experiment
 // entry points run on (sized by SetDefaultWorkers), for callers composing

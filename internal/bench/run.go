@@ -269,6 +269,31 @@ func (s RunSpec) StatsFromOutputs(finals []any, at []time.Duration) (*RunStats, 
 
 // Run executes the spec in the simulator.
 func Run(spec RunSpec) (*RunStats, error) {
+	return runSim(spec, nil)
+}
+
+// simSessions is the simulator's built-in session support: a session is
+// one sim.Scratch, so an engine worker's trials share the event queue's
+// backing array and per-node bookkeeping instead of re-allocating them
+// every trial. Scratch reuse is invisible in results (pinned by
+// TestSimGoldenByteIdentity and the engine determinism tests).
+var simSessions = SessionSupport{
+	Key:  func(RunSpec) string { return "sim" },
+	Open: func(RunSpec) (BackendSession, error) { return &simSession{scratch: new(sim.Scratch)}, nil },
+}
+
+type simSession struct {
+	scratch *sim.Scratch
+}
+
+// Run implements BackendSession.
+func (s *simSession) Run(spec RunSpec) (*RunStats, error) { return runSim(spec, s.scratch) }
+
+// Close implements BackendSession; a scratch holds no external resources.
+func (s *simSession) Close() error { return nil }
+
+// runSim executes the spec in the simulator, reusing scratch when non-nil.
+func runSim(spec RunSpec, scratch *sim.Scratch) (*RunStats, error) {
 	cfg := node.Config{N: spec.N, F: spec.F}
 	procs, err := spec.Processes()
 	if err != nil {
@@ -280,6 +305,9 @@ func Run(spec RunSpec) (*RunStats, error) {
 	opts := []sim.Option{sim.WithMaxTime(4 * time.Hour)}
 	if rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed); rule != nil {
 		opts = append(opts, sim.WithDelayRule(rule))
+	}
+	if scratch != nil {
+		opts = append(opts, sim.WithScratch(scratch))
 	}
 	runner, err := sim.NewRunner(cfg, spec.Env, spec.Seed, procs, opts...)
 	if err != nil {

@@ -59,6 +59,7 @@ type clusterOpts struct {
 	transports TransportFactory
 	wrap       TransportWrapper
 	waitFor    []node.ID
+	release    func()
 }
 
 // ClusterOption customises RunCluster.
@@ -75,6 +76,18 @@ func WithTransports(f TransportFactory) ClusterOption {
 // and traffic accounting into live clusters.
 func WithTransportWrap(w TransportWrapper) ClusterOption {
 	return func(o *clusterOpts) { o.wrap = w }
+}
+
+// WithTransportRelease replaces transport teardown: instead of closing
+// every transport (and the default hub), the cluster calls release exactly
+// once when the run ends — normally, by timeout, or by WithWaitFor
+// completion. It is the hook for session-scoped transports that outlive one
+// run: the caller keeps listeners and connections warm for the next run and
+// remains responsible for (a) eventually closing them and (b) unblocking
+// any sender still parked inside a transport Send, which transport closing
+// would otherwise do (e.g. by draining the receivers' inbound channels).
+func WithTransportRelease(release func()) ClusterOption {
+	return func(o *clusterOpts) { o.release = release }
 }
 
 // WithWaitFor ends the run once every listed node's driver has exited,
@@ -119,15 +132,22 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 	// they block on) as an unsupervised leak.
 	drivers := make([]*Driver, cfg.N)
 	transports := make([]Transport, cfg.N)
+	var closeOnce sync.Once
 	closeAll := func() {
-		for _, tr := range transports {
-			if tr != nil {
-				tr.Close()
+		closeOnce.Do(func() {
+			if o.release != nil {
+				o.release()
+				return
 			}
-		}
-		if hub != nil {
-			hub.Close()
-		}
+			for _, tr := range transports {
+				if tr != nil {
+					tr.Close()
+				}
+			}
+			if hub != nil {
+				hub.Close()
+			}
+		})
 	}
 	for i, p := range procs {
 		if p == nil {

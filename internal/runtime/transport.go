@@ -55,10 +55,16 @@ func NewHub(n int) *Hub {
 }
 
 // Endpoint returns node id's transport attached to the hub. Authentication
-// uses the supplied pairwise MACs.
+// uses the supplied pairwise MACs. A persistent hub can hand out fresh
+// endpoints (with fresh authenticators) for every run it hosts; the inbox
+// behind Recv is shared by all of id's endpoints.
 func (h *Hub) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &hubTransport{hub: h, id: id, auth: a}
 }
+
+// Recv exposes node id's inbox — shared by every endpoint for id — so a
+// session can drain frames addressed to idle or crashed slots between runs.
+func (h *Hub) Recv(id node.ID) <-chan Frame { return h.inbox[id] }
 
 // Close shuts the hub down: every inbox is closed, unblocking any receiver
 // still draining and any overflow sender still parked on a full inbox (its
@@ -122,12 +128,15 @@ func (t *hubTransport) Close() error {
 }
 
 // tcpTransport connects a node to its peers over TCP with 4-byte
-// length-prefixed frames: [sender u32][len u32][sealed frame].
+// length-prefixed frames: [sender u32][len u32][sealed frame]. It is both
+// the one-run transport NewTCP returns and the persistent per-node core a
+// TCPNet keeps alive across runs (auth is nil there; sealing happens in the
+// per-epoch endpoint views).
 type tcpTransport struct {
 	self  node.ID
 	addrs []string
 	ln    net.Listener
-	auth  *auth.Auth
+	auth  *auth.Auth // nil for TCPNet cores
 
 	// mu guards the connection maps only — never a blocking Write. Each
 	// outbound connection carries its own writer lock (tcpConn.mu) for
@@ -136,7 +145,7 @@ type tcpTransport struct {
 	mu       sync.Mutex
 	closed   bool
 	conns    map[node.ID]*tcpConn
-	accepted []net.Conn
+	accepted map[net.Conn]struct{}
 	in       chan Frame
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -150,22 +159,28 @@ type tcpConn struct {
 
 var _ Transport = (*tcpTransport)(nil)
 
-// NewTCP creates a TCP transport for node self; addrs lists every node's
-// listen address (index = node id). The listener must already be bound to
-// addrs[self].
-func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transport {
+// newTCPCore builds the transport machinery and starts its accept loop.
+func newTCPCore(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) *tcpTransport {
 	t := &tcpTransport{
-		self:  self,
-		addrs: addrs,
-		ln:    ln,
-		auth:  a,
-		conns: make(map[node.ID]*tcpConn),
-		in:    make(chan Frame, 1024),
-		done:  make(chan struct{}),
+		self:     self,
+		addrs:    addrs,
+		ln:       ln,
+		auth:     a,
+		conns:    make(map[node.ID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		in:       make(chan Frame, 1024),
+		done:     make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t
+}
+
+// NewTCP creates a TCP transport for node self; addrs lists every node's
+// listen address (index = node id). The listener must already be bound to
+// addrs[self].
+func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transport {
+	return newTCPCore(self, addrs, ln, a)
 }
 
 func (t *tcpTransport) acceptLoop() {
@@ -176,7 +191,7 @@ func (t *tcpTransport) acceptLoop() {
 			return // listener closed
 		}
 		t.mu.Lock()
-		t.accepted = append(t.accepted, conn)
+		t.accepted[conn] = struct{}{}
 		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(conn)
@@ -185,7 +200,17 @@ func (t *tcpTransport) acceptLoop() {
 
 func (t *tcpTransport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	// Prune the connection from the accepted set on exit: a persistent
+	// core sees peers re-dial every time their previous connection dies
+	// (peer restart, interrupt between session trials), and retaining every
+	// dead inbound conn would leak one entry per re-dial for the lifetime
+	// of the core.
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -239,27 +264,34 @@ func (t *tcpTransport) dropConn(to node.ID, tc *tcpConn) {
 }
 
 func (t *tcpTransport) Send(to node.ID, frame []byte) error {
+	if t.auth == nil {
+		return fmt.Errorf("runtime: send on a TCPNet core (use an Endpoint)")
+	}
 	if int(to) < 0 || int(to) >= len(t.addrs) {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
-	sealed := t.auth.Seal(to, frame)
+	return t.sendSealed(to, t.auth.Seal(to, frame))
+}
+
+// sendSealed frames and writes an already-sealed payload, dialing (or
+// re-dialing) the peer as needed. Header and payload go out as one buffer:
+// one syscall per frame instead of two, which matters when a trial pushes
+// thousands of small frames through the loopback.
+func (t *tcpTransport) sendSealed(to node.ID, sealed []byte) error {
 	tc, err := t.conn(to)
 	if err != nil {
 		return fmt.Errorf("runtime: dial %v: %w", to, err)
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.self))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(sealed)))
+	buf := make([]byte, 8+len(sealed))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(t.self))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(sealed)))
+	copy(buf[8:], sealed)
 	// Serialise frame writes per connection, not transport-wide: a writer
 	// blocked on a saturated peer must not stop Close (or sends to other
 	// peers); Close unblocks it by closing the conn under its feet.
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if _, err := tc.c.Write(hdr[:]); err != nil {
-		t.dropConn(to, tc)
-		return err
-	}
-	if _, err := tc.c.Write(sealed); err != nil {
+	if _, err := tc.c.Write(buf); err != nil {
 		t.dropConn(to, tc)
 		return err
 	}
@@ -280,10 +312,95 @@ func (t *tcpTransport) Close() error {
 	for _, tc := range t.conns {
 		tc.c.Close()
 	}
-	for _, c := range t.accepted {
+	for c := range t.accepted {
 		c.Close()
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
 	return err
 }
+
+// TCPNet is a persistent loopback TCP fabric for an n-node cluster: one
+// listener and one transport core per node, bound once and reused across
+// any number of cluster runs. Each run takes per-epoch endpoint views via
+// Endpoint — the view carries that run's authenticator, so two epochs
+// sharing the fabric can never authenticate each other's frames — while
+// accepted connections, dialed connections, and read loops persist. This is
+// what makes a session-scoped `tcp` execution backend possible: the n
+// listener binds and up to n² dials happen once per session instead of once
+// per trial.
+type TCPNet struct {
+	addrs []string
+	cores []*tcpTransport
+}
+
+// NewTCPNet binds n loopback listeners and starts their accept loops.
+func NewTCPNet(n int) (*TCPNet, error) {
+	p := &TCPNet{addrs: make([]string, n), cores: make([]*tcpTransport, n)}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, open := range lns[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("runtime: bind node %d: %w", i, err)
+		}
+		lns[i] = ln
+		p.addrs[i] = ln.Addr().String()
+	}
+	for i, ln := range lns {
+		p.cores[i] = newTCPCore(node.ID(i), p.addrs, ln, nil)
+	}
+	return p, nil
+}
+
+// N returns the fabric's node count.
+func (p *TCPNet) N() int { return len(p.cores) }
+
+// Endpoint returns node id's transport view for one epoch (cluster run),
+// sealing outbound frames with a. Closing the view is a no-op — the fabric
+// owns the core; stale frames from an earlier epoch fail the new epoch's
+// MAC and are dropped by the driver.
+func (p *TCPNet) Endpoint(id node.ID, a *auth.Auth) Transport {
+	return &tcpEndpoint{core: p.cores[id], auth: a}
+}
+
+// Recv exposes node id's inbound frame channel — shared by every epoch's
+// view — so a session can drain frames addressed to idle or crashed slots
+// between runs.
+func (p *TCPNet) Recv(id node.ID) <-chan Frame { return p.cores[id].in }
+
+// Close tears the whole fabric down: listeners, connections, read loops.
+func (p *TCPNet) Close() error {
+	var first error
+	for _, c := range p.cores {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// tcpEndpoint is one epoch's view of a persistent core.
+type tcpEndpoint struct {
+	core *tcpTransport
+	auth *auth.Auth
+}
+
+var _ Transport = (*tcpEndpoint)(nil)
+
+// Send implements Transport, sealing with the epoch's authenticator.
+func (e *tcpEndpoint) Send(to node.ID, frame []byte) error {
+	if int(to) < 0 || int(to) >= len(e.core.addrs) {
+		return fmt.Errorf("runtime: bad destination %v", to)
+	}
+	return e.core.sendSealed(to, e.auth.Seal(to, frame))
+}
+
+// Recv implements Transport; the channel is the core's and outlives the
+// epoch.
+func (e *tcpEndpoint) Recv() <-chan Frame { return e.core.in }
+
+// Close implements Transport as a no-op: the owning TCPNet closes cores.
+func (e *tcpEndpoint) Close() error { return nil }

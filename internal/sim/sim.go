@@ -12,10 +12,20 @@
 // Protocols implement node.Process and are driven by the simulator without
 // knowing they are being simulated. All randomness flows from a single seed,
 // so every experiment is reproducible.
+//
+// The event loop is built for sweep throughput: the pending-delivery queue
+// is an inlined 4-ary heap over event values (no per-event allocation, no
+// interface boxing through container/heap), each node's Env is allocated
+// once per run, and a delivery is dispatched by a direct Deliver call with
+// no per-event closure. A session-scoped caller can reuse the queue and
+// per-node bookkeeping across runs via Scratch. The pop order of the heap
+// is fully determined by the (time, sequence) total order, so none of this
+// changes a single scheduled delivery: fixed-seed runs are byte-identical
+// to the original container/heap implementation (pinned by
+// bench.TestSimGoldenByteIdentity).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -23,7 +33,8 @@ import (
 	"delphi/internal/node"
 )
 
-// Event is a message delivery scheduled at a virtual time.
+// event is a message delivery scheduled at a virtual time. Events are
+// stored by value in the runner's heap.
 type event struct {
 	at   time.Duration
 	seq  uint64 // tie-breaker for determinism
@@ -32,24 +43,14 @@ type event struct {
 	msg  node.Message
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e is scheduled strictly before o. seq is unique,
+// so this is a total order and the heap's pop sequence is independent of
+// its internal layout.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // LatencyModel samples one-way network latency between two nodes.
@@ -185,6 +186,23 @@ func (r *Result) Outputs(ids []node.ID) []any {
 // from its inputs (see internal/netadv for seed-deterministic presets).
 type DelayRule func(at time.Duration, from, to node.ID, m node.Message) time.Duration
 
+// Scratch is a Runner's reusable storage: the event queue's backing array
+// (the freelist that replaces per-event allocation entirely) and the
+// per-node bookkeeping slices. A session-scoped caller hands the same
+// Scratch to consecutive NewRunner calls so a thousand-trial sweep performs
+// the queue's growth allocations once instead of once per trial. A Scratch
+// must not be shared by concurrently running Runners; reuse never changes
+// results (every buffer is fully reset) — only allocation counts.
+type Scratch struct {
+	queue      []event
+	batch      []event
+	busyUntil  []time.Duration
+	uplinkFree []time.Duration
+	halted     []bool
+	outMsgs    []outMsg
+	rng        *rand.Rand
+}
+
 // Runner drives a set of processes to completion in virtual time.
 type Runner struct {
 	cfg   node.Config
@@ -192,17 +210,29 @@ type Runner struct {
 	rng   *rand.Rand
 	procs []node.Process
 
-	queue      eventQueue
-	freeEvents []*event // recycled event structs (one per delivery otherwise)
-	seq        uint64
-	now        time.Duration
-	busyUntil  []time.Duration
+	queue     []event // 4-ary min-heap ordered by (at, seq)
+	batch     []event // batched-delivery scratch
+	seq       uint64
+	now       time.Duration
+	busyUntil []time.Duration
+	// uplinkFree tracks when each node's uplink next idles (bandwidth
+	// serialization).
 	uplinkFree []time.Duration
 	stats      []NodeStats
 	halted     []bool
+	live       int // processes neither nil nor halted; 0 ends the run
+	envs       []simEnv
 	delayRule  DelayRule
 	maxTime    time.Duration
 	events     int
+	batched    bool
+	scratch    *Scratch
+
+	// Hot-path constants hoisted out of the per-message dispatch: the
+	// environment's MAC overhead and whether the uplink/delay-rule
+	// branches are live at all.
+	macBytes  int
+	hasUplink bool
 
 	// current delivery context
 	curNode    node.ID
@@ -232,6 +262,34 @@ func WithMaxTime(d time.Duration) Option {
 	return func(rn *Runner) { rn.maxTime = d }
 }
 
+// WithBatchedDelivery processes all deliveries sharing a virtual timestamp
+// as one wave: the run of equal-time events is drained from the heap before
+// any of them is dispatched, so the loop touches the heap in bursts and a
+// same-instant flood (a broadcast arriving over zero-jitter links, a
+// partition heal releasing a batch) stays cache-resident. Delivery order
+// within a wave is still (time, seq) order — newly scheduled events always
+// carry later sequence numbers than the drained wave — so batched runs are
+// byte-identical to unbatched runs at every seed.
+func WithBatchedDelivery() Option {
+	return func(rn *Runner) { rn.batched = true }
+}
+
+// WithScratch reuses the storage in s across runs; see Scratch.
+func WithScratch(s *Scratch) Option {
+	return func(rn *Runner) { rn.scratch = s }
+}
+
+// resetDurations returns buf zeroed and resized to n, reusing its backing
+// array when large enough.
+func resetDurations(buf []time.Duration, n int) []time.Duration {
+	if cap(buf) < n {
+		return make([]time.Duration, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // NewRunner creates a runner for the given processes. procs[i] runs as node
 // i; entries may be honest protocols or Byzantine behaviours, and nil
 // entries model crashed (mute) nodes.
@@ -243,23 +301,117 @@ func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Proces
 		return nil, fmt.Errorf("sim: have %d processes for n=%d", len(procs), cfg.N)
 	}
 	r := &Runner{
-		cfg:        cfg,
-		env:        env,
-		rng:        rand.New(rand.NewSource(seed)),
-		procs:      procs,
-		busyUntil:  make([]time.Duration, cfg.N),
-		uplinkFree: make([]time.Duration, cfg.N),
-		stats:      make([]NodeStats, cfg.N),
-		halted:     make([]bool, cfg.N),
-		maxTime:    30 * time.Minute,
+		cfg:       cfg,
+		env:       env,
+		procs:     procs,
+		stats:     make([]NodeStats, cfg.N),
+		maxTime:   30 * time.Minute,
+		macBytes:  env.MACBytes,
+		hasUplink: env.UplinkBytesPerSec > 0,
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	if s := r.scratch; s != nil {
+		// Adopt the scratch buffers; Run hands them back (grown) when the
+		// run completes. Stats and envs are never pooled: Result escapes
+		// with the stats, and processes may retain their Env beyond the run.
+		r.queue = s.queue[:0]
+		r.batch = s.batch[:0]
+		r.busyUntil = resetDurations(s.busyUntil, cfg.N)
+		r.uplinkFree = resetDurations(s.uplinkFree, cfg.N)
+		r.curOutMsgs = s.outMsgs[:0]
+		if cap(s.halted) >= cfg.N {
+			r.halted = s.halted[:cfg.N]
+			clear(r.halted)
+		} else {
+			r.halted = make([]bool, cfg.N)
+		}
+		if s.rng != nil {
+			r.rng = s.rng
+			r.rng.Seed(seed)
+		}
+	}
+	if r.busyUntil == nil {
+		r.busyUntil = make([]time.Duration, cfg.N)
+		r.uplinkFree = make([]time.Duration, cfg.N)
+		r.halted = make([]bool, cfg.N)
+	}
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(seed))
+		if r.scratch != nil {
+			r.scratch.rng = r.rng
+		}
+	}
+	r.envs = make([]simEnv, cfg.N)
+	for i := range r.envs {
+		r.envs[i] = simEnv{r: r, id: node.ID(i)}
+	}
+	for _, p := range procs {
+		if p != nil {
+			r.live++
+		}
+	}
 	return r, nil
 }
 
-// simEnv is the node.Env implementation handed to each process.
+// pushEvent adds e to the 4-ary heap.
+func (r *Runner) pushEvent(e event) {
+	q := append(r.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q[i].before(&q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	r.queue = q
+}
+
+// popEvent removes and returns the earliest event.
+func (r *Runner) popEvent() event {
+	q := r.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release the message reference
+	q = q[:n]
+	r.queue = q
+	if n == 0 {
+		return top
+	}
+	// Sift the former tail down from the root, always descending into the
+	// smallest of up to four children.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q[j].before(&q[m]) {
+				m = j
+			}
+		}
+		if !q[m].before(&last) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = last
+	return top
+}
+
+// simEnv is the node.Env implementation handed to each process. One is
+// allocated per node per run (never per event).
 type simEnv struct {
 	r  *Runner
 	id node.ID
@@ -291,6 +443,7 @@ func (e *simEnv) Halt() {
 	if !e.r.halted[e.id] {
 		e.r.halted[e.id] = true
 		e.r.stats[e.id].Halted = true
+		e.r.live--
 		if e.r.inStep && e.id == e.r.curNode {
 			e.r.curHalt = true
 		}
@@ -318,54 +471,47 @@ func (r *Runner) stageSend(from, to node.ID, m node.Message) {
 // dispatch applies bandwidth serialization and latency and enqueues the
 // delivery event.
 func (r *Runner) dispatch(from, to node.ID, m node.Message, ready time.Duration) {
-	size := m.WireSize() + r.env.MACBytes
+	size := m.WireSize() + r.macBytes
 	start := ready
 	if r.uplinkFree[from] > start {
 		start = r.uplinkFree[from]
 	}
 	var tx time.Duration
-	if r.env.UplinkBytesPerSec > 0 {
+	if r.hasUplink {
 		tx = time.Duration(float64(size) / r.env.UplinkBytesPerSec * float64(time.Second))
 	}
 	r.uplinkFree[from] = start + tx
 	lat := r.env.Latency.Latency(from, to, r.rng)
-	extra := time.Duration(0)
+	at := start + tx + lat
 	if r.delayRule != nil {
-		extra = r.delayRule(start+tx, from, to, m)
+		at += r.delayRule(start+tx, from, to, m)
 	}
-	at := start + tx + lat + extra
 	r.seq++
-	var e *event
-	if n := len(r.freeEvents); n > 0 {
-		e = r.freeEvents[n-1]
-		r.freeEvents = r.freeEvents[:n-1]
-	} else {
-		e = new(event)
-	}
-	*e = event{at: at, seq: r.seq, from: from, to: to, msg: m}
-	heap.Push(&r.queue, e)
+	r.pushEvent(event{at: at, seq: r.seq, from: from, to: to, msg: m})
 	st := &r.stats[from]
 	st.MsgsSent++
 	st.BytesSent += int64(size)
 }
 
-// step runs fn as node id's processing step at virtual time t, charging
-// compute and flushing staged sends afterwards.
-func (r *Runner) step(id node.ID, t time.Duration, base time.Duration, fn func(env node.Env)) {
-	start := t
-	if r.busyUntil[id] > start {
-		start = r.busyUntil[id]
-	}
+// beginStep opens node id's processing step. The caller invokes the
+// process directly (Init or Deliver) and then closes the step with endStep;
+// splitting the step this way keeps the hot loop free of per-event closures.
+func (r *Runner) beginStep(id node.ID) {
 	r.inStep = true
 	r.curNode = id
 	r.curCharge = node.ComputeCost{}
 	r.curOutMsgs = r.curOutMsgs[:0]
 	r.curOutput = false
 	r.curHalt = false
+}
 
-	env := &simEnv{r: r, id: id}
-	fn(env)
-
+// endStep charges the step's compute starting at virtual time t (plus the
+// base delivery cost) and flushes staged sends.
+func (r *Runner) endStep(id node.ID, t, base time.Duration) {
+	start := t
+	if r.busyUntil[id] > start {
+		start = r.busyUntil[id]
+	}
 	dur := base + r.env.Cost.Cost(r.curCharge)
 	r.stats[id].Compute = r.stats[id].Compute.Add(r.curCharge)
 	r.busyUntil[id] = start + dur
@@ -383,39 +529,46 @@ func (r *Runner) step(id node.ID, t time.Duration, base time.Duration, fn func(e
 	r.inStep = false
 }
 
+// deliver processes one delivery event; it reports false when the run is
+// over (time bound hit or every live process halted).
+func (r *Runner) deliver(e *event) bool {
+	r.now = e.at
+	if r.now > r.maxTime {
+		return false
+	}
+	to := e.to
+	if r.halted[to] || r.procs[to] == nil {
+		return true
+	}
+	r.events++
+	r.stats[to].MsgsRecv++
+	size := e.msg.WireSize() + r.macBytes
+	r.beginStep(to)
+	r.procs[to].Deliver(e.from, e.msg)
+	r.endStep(to, e.at, r.env.Cost.messageCost(size))
+	return r.live > 0
+}
+
 // Run executes the simulation until the event queue drains, all processes
 // halt, or the virtual-time bound is hit.
 func (r *Runner) Run() *Result {
-	heap.Init(&r.queue)
 	// Initialise all processes at t=0.
 	for i, p := range r.procs {
 		if p == nil {
 			continue
 		}
-		proc := p
-		r.step(node.ID(i), 0, 0, func(env node.Env) { proc.Init(env) })
+		r.beginStep(node.ID(i))
+		p.Init(&r.envs[i])
+		r.endStep(node.ID(i), 0, 0)
 	}
-	for r.queue.Len() > 0 {
-		e := heap.Pop(&r.queue).(*event)
-		at, from, to, msg := e.at, e.from, e.to, e.msg
-		e.msg = nil
-		r.freeEvents = append(r.freeEvents, e)
-		r.now = at
-		if r.now > r.maxTime {
-			break
-		}
-		if r.halted[to] || r.procs[to] == nil {
-			continue
-		}
-		r.events++
-		r.stats[to].MsgsRecv++
-		size := msg.WireSize() + r.env.MACBytes
-		p := r.procs[to]
-		r.step(to, at, r.env.Cost.messageCost(size), func(node.Env) {
-			p.Deliver(from, msg)
-		})
-		if r.allHalted() {
-			break
+	if r.batched {
+		r.runBatched()
+	} else {
+		for len(r.queue) > 0 {
+			e := r.popEvent()
+			if !r.deliver(&e) {
+				break
+			}
 		}
 	}
 	res := &Result{Stats: r.stats, Time: r.now, Events: r.events}
@@ -423,14 +576,37 @@ func (r *Runner) Run() *Result {
 		res.TotalBytes += r.stats[i].BytesSent
 		res.TotalMsgs += r.stats[i].MsgsSent
 	}
+	if s := r.scratch; s != nil {
+		// Hand the (grown) buffers back for the next run. Remaining events
+		// and the staged-send buffer's capacity region hold message
+		// references; drop them so the scratch retains only bare storage.
+		clear(r.queue)
+		clear(r.batch)
+		clear(r.curOutMsgs[:cap(r.curOutMsgs)])
+		s.queue = r.queue[:0]
+		s.batch = r.batch[:0]
+		s.busyUntil = r.busyUntil
+		s.uplinkFree = r.uplinkFree
+		s.halted = r.halted
+		s.outMsgs = r.curOutMsgs[:0]
+	}
 	return res
 }
 
-func (r *Runner) allHalted() bool {
-	for i, h := range r.halted {
-		if !h && r.procs[i] != nil {
-			return false
+// runBatched is the batched-delivery loop: drain the run of equal-time
+// events, then dispatch the wave in order.
+func (r *Runner) runBatched() {
+	for len(r.queue) > 0 {
+		at := r.queue[0].at
+		r.batch = r.batch[:0]
+		for len(r.queue) > 0 && r.queue[0].at == at {
+			r.batch = append(r.batch, r.popEvent())
+		}
+		for i := range r.batch {
+			if !r.deliver(&r.batch[i]) {
+				return
+			}
+			r.batch[i].msg = nil
 		}
 	}
-	return true
 }

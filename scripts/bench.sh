@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Machine-readable performance trajectory for the Delphi reproduction.
+#
+# Runs the pinned regression benchmarks — BenchmarkSimCore (simulator core:
+# ns/event and allocs/event per size × adversary) and BenchmarkTCPCellSetup
+# (per-trial tcp setup cost: persistent session vs per-trial binds/dials) —
+# and writes the numbers to BENCH_5.json so perf regressions are diffable
+# across PRs.
+#
+# Usage: scripts/bench.sh [output.json]
+#   SIM_BENCHTIME (default 1s) and TCP_BENCHTIME (default 5x) tune runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+sim_benchtime="${SIM_BENCHTIME:-1s}"
+tcp_benchtime="${TCP_BENCHTIME:-5x}"
+
+echo "== BenchmarkSimCore (${sim_benchtime}) =="
+sim_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimCore \
+    -benchtime "$sim_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$sim_out" | grep BenchmarkSimCore
+
+echo "== BenchmarkTCPCellSetup (${tcp_benchtime}) =="
+tcp_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPCellSetup \
+    -benchtime "$tcp_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$tcp_out" | grep -E "BenchmarkTCPCellSetup|ms/trial" | grep -v "^2[0-9]"
+
+{
+    printf '{\n'
+    printf '  "issue": 5,\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "host": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+
+    printf '  "sim_core": [\n'
+    echo "$sim_out" | awk '
+        /^BenchmarkSimCore\// {
+            name = $1
+            sub(/^BenchmarkSimCore\//, "", name)
+            sub(/-[0-9]+$/, "", name)
+            split(name, parts, "/")
+            n = parts[1]; sub(/^n=/, "", n)
+            adv = parts[2]
+            nse = ape = epr = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/event") nse = $i
+                if ($(i+1) == "allocs/event") ape = $i
+                if ($(i+1) == "events/run") epr = $i
+            }
+            lines[++cnt] = sprintf("    {\"n\": %s, \"adversary\": \"%s\", \"ns_per_event\": %s, \"allocs_per_event\": %s, \"events_per_run\": %s}", n, adv, nse, ape, epr)
+        }
+        END {
+            for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+        }'
+    printf '  ],\n'
+
+    printf '  "tcp_cell_setup": [\n'
+    echo "$tcp_out" | awk '
+        /^BenchmarkTCPCellSetup\// {
+            name = $1
+            sub(/^BenchmarkTCPCellSetup\//, "", name)
+            sub(/-[0-9]+$/, "", name)
+            ms = nsop = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ms/trial") ms = $i
+                if ($(i+1) == "ns/op") nsop = $i
+            }
+            if (ms == "null") next
+            lines[++cnt] = sprintf("    {\"mode\": \"%s\", \"ms_per_trial\": %s, \"cell_ns\": %s}", name, ms, nsop)
+            vals[name] = ms
+        }
+        END {
+            for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+        }'
+    printf '  ],\n'
+
+    speedup=$(echo "$tcp_out" | awk '
+        /^BenchmarkTCPCellSetup\// {
+            name = $1
+            sub(/^BenchmarkTCPCellSetup\//, "", name)
+            sub(/-[0-9]+$/, "", name)
+            for (i = 2; i < NF; i++) if ($(i+1) == "ms/trial") vals[name] = $i
+        }
+        END {
+            if (vals["session"] > 0) printf "%.2f", vals["per-trial"] / vals["session"]
+            else printf "null"
+        }')
+    printf '  "tcp_session_speedup": %s\n' "$speedup"
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

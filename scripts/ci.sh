@@ -49,6 +49,15 @@ if ! cmp -s "$adv1" "$adv2"; then
     exit 1
 fi
 
+# The simulator's inlined-heap fast path carries a byte-identity guarantee:
+# fixed-seed outputs for every protocol under every adversary preset must
+# match the golden files generated from the pre-fast-path (container/heap)
+# simulator bit for bit. The gate runs explicitly — even when someone trims
+# the test invocation above — because a silent schedule change would
+# invalidate every downstream measurement.
+echo "== sim byte-identity gate =="
+go test ./internal/bench -run TestSimGoldenByteIdentity -count=1
+
 # The execution-backend axis is exercised on every run (including -short):
 # the cross-backend validator runs every protocol on the simulator AND a
 # live goroutine cluster from identical specs — clean and under netadv
@@ -62,5 +71,14 @@ fi
 echo "== backend smoke =="
 go run ./cmd/experiments -scale quick -seed 1 -run backends > /dev/null
 go run ./cmd/experiments -scale quick -seed 1 -backend live -run matrix > /dev/null
+
+# Persistent-session smoke: a 3-trial tcp cell through the engine, reusing
+# one loopback cluster (listeners + connections) across the trials. The
+# target fails on any agreement violation. Stale-frame drops are the
+# epoch-key mechanism working, not an error — filter them from stderr so
+# real failures stand out.
+echo "== tcp session smoke =="
+go run ./cmd/experiments -scale quick -seed 1 -run sessions > /dev/null \
+    2> >(grep -v "drop unauthentic frame" >&2 || true)
 
 echo "CI OK"
