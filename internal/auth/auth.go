@@ -57,9 +57,16 @@ func New(self node.ID, n int, master []byte) (*Auth, error) {
 // The sender id is bound into the MAC so a shared pairwise key cannot be
 // replayed in the reverse direction.
 func (a *Auth) Seal(peer node.ID, frame []byte) []byte {
-	out := make([]byte, 0, len(frame)+MACSize)
-	out = append(out, frame...)
-	return append(out, a.tag(peer, a.self, frame)...)
+	return a.AppendSeal(peer, make([]byte, 0, len(frame)+MACSize), frame)
+}
+
+// AppendSeal appends frame followed by its MAC to dst and returns the
+// extended slice: Seal without the allocation, for callers sealing into a
+// reused buffer (the transports' per-connection write scratch). frame and
+// dst must not overlap.
+func (a *Auth) AppendSeal(peer node.ID, dst, frame []byte) []byte {
+	dst = append(dst, frame...)
+	return a.appendTag(peer, a.self, dst, frame)
 }
 
 // Open verifies and strips the MAC of a frame received from peer. The
@@ -78,13 +85,18 @@ func (a *Auth) Open(peer node.ID, sealed []byte) ([]byte, error) {
 
 // tag computes HMAC(key(self,peer), sender || frame).
 func (a *Auth) tag(peer, sender node.ID, frame []byte) []byte {
+	return a.appendTag(peer, sender, nil, frame)
+}
+
+// appendTag appends HMAC(key(self,peer), sender || frame) to dst.
+func (a *Auth) appendTag(peer, sender node.ID, dst, frame []byte) []byte {
 	if int(peer) < 0 || int(peer) >= len(a.keys) {
-		return make([]byte, MACSize)
+		return append(dst, make([]byte, MACSize)...)
 	}
 	mac := hmac.New(sha256.New, a.keys[peer])
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(sender))
 	mac.Write(buf[:])
 	mac.Write(frame)
-	return mac.Sum(nil)
+	return mac.Sum(dst)
 }

@@ -1,6 +1,7 @@
 package auth_test
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -55,6 +56,57 @@ func TestShortFrameRejected(t *testing.T) {
 	a, _ := auth.New(0, 2, []byte("m"))
 	if _, err := a.Open(1, []byte{1, 2, 3}); err == nil {
 		t.Error("frame shorter than a MAC accepted")
+	}
+}
+
+// TestAppendSealMatchesSeal pins the in-place sealing path the transports
+// use: sealing into a prefilled destination buffer must produce exactly
+// Seal's bytes after the prefix, with no extra allocation behaviour
+// observable to the verifier.
+func TestAppendSealMatchesSeal(t *testing.T) {
+	const n = 4
+	master := []byte("appendseal-master")
+	as := make([]*auth.Auth, n)
+	for i := range as {
+		a, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as[i] = a
+	}
+	f := func(payload, prefix []byte, fromRaw, toRaw uint8) bool {
+		from := int(fromRaw) % n
+		to := int(toRaw) % n
+		want := as[from].Seal(node.ID(to), payload)
+		got := as[from].AppendSeal(node.ID(to), append([]byte(nil), prefix...), payload)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			return false // prefix clobbered
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			return false
+		}
+		opened, err := as[to].Open(node.ID(from), got[len(prefix):])
+		return err == nil && bytes.Equal(opened, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Sealing into a reused scratch buffer (the transports' steady state)
+	// must append in place: once the scratch has grown to size, repeated
+	// seals keep the same backing array instead of reallocating.
+	a, b := as[0], as[1]
+	scratch := make([]byte, 0, 256)
+	payload := []byte{1, 2, 3, 4, 5}
+	scratch = a.AppendSeal(1, scratch[:0], payload)
+	base := &scratch[0]
+	for i := 0; i < 100; i++ {
+		scratch = a.AppendSeal(1, scratch[:0], payload)
+		if &scratch[0] != base {
+			t.Fatal("AppendSeal reallocated a warm scratch buffer")
+		}
+	}
+	if opened, err := b.Open(0, scratch); err != nil || !bytes.Equal(opened, payload) {
+		t.Error("scratch-sealed frame does not verify")
 	}
 }
 

@@ -85,6 +85,9 @@ func (Sim) Run(spec bench.RunSpec) (RunResult, error) {
 type Live struct {
 	// Timeout bounds one cluster run; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// NoBatch disables the drivers' per-step frame batching (see
+	// runtime.WithFrameBatching) for A/B comparison.
+	NoBatch bool
 }
 
 // Name implements Backend.
@@ -96,13 +99,16 @@ func (Live) Caps() Caps { return Caps{WallClock: true} }
 
 // Run implements Backend.
 func (b Live) Run(spec bench.RunSpec) (RunResult, error) {
-	return runCluster(spec, bench.BackendLive, b.Timeout, nil)
+	return runCluster(spec, bench.BackendLive, b.Timeout, nil, b.NoBatch, nil)
 }
 
 // TCP executes specs as loopback TCP clusters over runtime.NewTCP.
 type TCP struct {
 	// Timeout bounds one cluster run; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// NoBatch disables the drivers' per-step frame batching (see
+	// runtime.WithFrameBatching) for A/B comparison.
+	NoBatch bool
 }
 
 // Name implements Backend.
@@ -113,12 +119,12 @@ func (TCP) Caps() Caps { return Caps{WallClock: true} }
 
 // Run implements Backend.
 func (b TCP) Run(spec bench.RunSpec) (RunResult, error) {
-	factory, cleanup, err := tcpFactory(spec.N)
+	factory, cleanup, drops, err := tcpFactory(spec.N)
 	if err != nil {
 		return RunResult{}, err
 	}
 	defer cleanup()
-	return runCluster(spec, bench.BackendTCP, b.Timeout, factory)
+	return runCluster(spec, bench.BackendTCP, b.Timeout, factory, b.NoBatch, drops)
 }
 
 // trialScaffold is the per-trial plumbing every live execution needs,
@@ -169,8 +175,10 @@ func newTrialScaffold(spec bench.RunSpec, timeout time.Duration) (*trialScaffold
 // runCluster is the shared live execution path: build the spec's processes,
 // wrap every transport with adversary delay + traffic accounting, run the
 // cluster, and assemble RunStats from the honest nodes' final outputs and
-// wall-clock decision times.
-func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duration, factory runtime.TransportFactory) (RunResult, error) {
+// wall-clock decision times. drops, when non-nil, reads the transports'
+// cumulative observable frame-loss counter (per-trial transports start at
+// zero, so no delta is needed here).
+func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duration, factory runtime.TransportFactory, noBatch bool, drops func() uint64) (RunResult, error) {
 	sc, err := newTrialScaffold(spec, timeout)
 	if err != nil {
 		return RunResult{}, err
@@ -181,6 +189,7 @@ func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duratio
 	opts := []runtime.ClusterOption{
 		runtime.WithTransportWrap(sc.wrap),
 		runtime.WithWaitFor(sc.honest),
+		runtime.WithFrameBatching(!noBatch),
 	}
 	if factory != nil {
 		opts = append(opts, runtime.WithTransports(factory))
@@ -191,7 +200,14 @@ func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duratio
 	if err != nil {
 		return RunResult{}, err
 	}
-	return clusterStats(spec, kind, res, sc.acct, ctx, sc.timeout)
+	r, err := clusterStats(spec, kind, res, sc.acct, ctx, sc.timeout)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if drops != nil {
+		r.Stats.TransportDrops = drops()
+	}
+	return r, nil
 }
 
 // clusterStats assembles a RunResult from a finished cluster run — shared

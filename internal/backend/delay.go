@@ -32,6 +32,7 @@ type traffic struct {
 // held when the cluster shuts down are released (their receivers are gone).
 type advTransport struct {
 	inner runtime.Transport
+	rec   runtime.Recycler // inner's buffer pool, when it has one
 	self  node.ID
 	rule  sim.DelayRule // nil = clean network (accounting only)
 	reg   *wire.Registry
@@ -45,6 +46,7 @@ type advTransport struct {
 }
 
 var _ runtime.Transport = (*advTransport)(nil)
+var _ runtime.Recycler = (*advTransport)(nil)
 
 // newAdvWrapper returns a TransportWrapper installing an advTransport on
 // every node, all sharing one wall clock and one traffic accumulator.
@@ -52,8 +54,10 @@ func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry) (runtime.TransportWra
 	acct := &traffic{}
 	start := time.Now()
 	wrap := func(id node.ID, tr runtime.Transport) runtime.Transport {
+		rec, _ := tr.(runtime.Recycler)
 		return &advTransport{
 			inner: tr,
+			rec:   rec,
 			self:  id,
 			rule:  rule,
 			reg:   reg,
@@ -65,39 +69,109 @@ func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry) (runtime.TransportWra
 	return wrap, acct
 }
 
-// Send implements runtime.Transport.
+// Send implements runtime.Transport. Batch envelopes are unpacked before
+// the adversary rule runs: delay rules are functions of individual protocol
+// messages, so batching must be invisible to them — each member is
+// accounted and judged on its own, and whatever is not delayed travels on
+// together.
 func (t *advTransport) Send(to node.ID, frame []byte) error {
+	if runtime.IsBatch(frame) {
+		return t.sendBatch(to, frame)
+	}
 	t.acct.bytes.Add(int64(len(frame) + auth.MACSize))
 	t.acct.msgs.Add(1)
-	if t.rule != nil {
-		if m, err := t.reg.DecodeFramed(frame); err == nil {
-			if d := t.rule(time.Since(t.start), t.self, to, m); d > 0 {
-				t.mu.Lock()
-				if t.closed {
-					t.mu.Unlock()
-					return nil
-				}
-				t.wg.Add(1)
-				t.mu.Unlock()
-				timer := time.NewTimer(d)
-				go func() {
-					defer t.wg.Done()
-					defer timer.Stop()
-					select {
-					case <-timer.C:
-						_ = t.inner.Send(to, frame)
-					case <-t.done:
-					}
-				}()
-				return nil
-			}
-		}
+	if d := t.delayFor(to, frame); d > 0 {
+		// Send does not retain frame past the call, so a frame leaving the
+		// synchronous path must be copied.
+		t.sendLater(to, append([]byte(nil), frame...), d)
+		return nil
 	}
 	return t.inner.Send(to, frame)
 }
 
+// delayFor evaluates the adversary rule against one protocol frame.
+func (t *advTransport) delayFor(to node.ID, frame []byte) time.Duration {
+	if t.rule == nil {
+		return 0
+	}
+	m, err := t.reg.DecodeFramed(frame)
+	if err != nil {
+		return 0
+	}
+	return t.rule(time.Since(t.start), t.self, to, m)
+}
+
+// sendBatch accounts and rules on each member of an envelope individually.
+// Accounting stays per-message — framed bytes plus a MAC each, matching the
+// simulator's convention — even though the batch really crosses the wire as
+// one seal; the stats measure protocol traffic, not transport framing. When
+// no member is delayed the original envelope is forwarded untouched (the
+// common case: one write). Otherwise delayed members are copied onto their
+// timers and the remainder is re-batched.
+func (t *advTransport) sendBatch(to node.ID, frame []byte) error {
+	var pass [][]byte
+	delayed := false
+	err := runtime.UnpackBatch(frame, func(inner []byte) bool {
+		t.acct.bytes.Add(int64(len(inner) + auth.MACSize))
+		t.acct.msgs.Add(1)
+		if d := t.delayFor(to, inner); d > 0 {
+			t.sendLater(to, append([]byte(nil), inner...), d)
+			delayed = true
+		} else {
+			pass = append(pass, inner)
+		}
+		return true
+	})
+	if err != nil || !delayed {
+		return t.inner.Send(to, frame)
+	}
+	switch len(pass) {
+	case 0:
+		return nil
+	case 1:
+		return t.inner.Send(to, pass[0])
+	default:
+		return t.inner.Send(to, runtime.AppendBatch(make([]byte, 0, len(frame)), pass))
+	}
+}
+
+// sendLater holds frame (which the caller has copied for us) on a timer and
+// forwards it when the timer fires, unless the wrapper detaches first.
+func (t *advTransport) sendLater(to node.ID, frame []byte, d time.Duration) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	timer := time.NewTimer(d)
+	go func() {
+		defer t.wg.Done()
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			_ = t.inner.Send(to, frame)
+		case <-t.done:
+		}
+	}()
+}
+
 // Recv implements runtime.Transport.
-func (t *advTransport) Recv() <-chan runtime.Frame { return t.inner.Recv() }
+func (t *advTransport) Recv(stop <-chan struct{}) (runtime.Frame, bool) {
+	return t.inner.Recv(stop)
+}
+
+// TryRecv implements runtime.Transport.
+func (t *advTransport) TryRecv() (runtime.Frame, bool) { return t.inner.TryRecv() }
+
+// Recycle implements runtime.Recycler, forwarding to the wrapped
+// transport's pool when it has one.
+func (t *advTransport) Recycle(buf []byte) {
+	if t.rec != nil {
+		t.rec.Recycle(buf)
+	}
+}
 
 // detach stops the wrapper without touching the wrapped transport: no new
 // delay timers start and timers still pending are released. It does not

@@ -43,7 +43,7 @@ func (b Live) SessionKey(spec bench.RunSpec) string { return fmt.Sprintf("n=%d",
 // OpenSession implements SessionBackend.
 func (b Live) OpenSession(spec bench.RunSpec) (Session, error) {
 	return newClusterSession(bench.BackendLive, spec.N, b.Timeout,
-		hubFabric{hub: runtime.NewHub(spec.N)}), nil
+		hubFabric{hub: runtime.NewHub(spec.N)}, b.NoBatch), nil
 }
 
 // SessionKey implements SessionBackend: the tcp listeners fit any trial of
@@ -57,15 +57,16 @@ func (b TCP) OpenSession(spec bench.RunSpec) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newClusterSession(bench.BackendTCP, spec.N, b.Timeout, tcpFabric{net: net}), nil
+	return newClusterSession(bench.BackendTCP, spec.N, b.Timeout, tcpFabric{net: net}, b.NoBatch), nil
 }
 
 // fabric is the persistent substrate under a clusterSession: something
-// that hands out per-epoch transport endpoints and exposes each slot's
-// shared inbound channel.
+// that hands out per-epoch transport endpoints, receives on each slot's
+// shared inbox, and reports cumulative observable frame drops.
 type fabric interface {
 	endpoint(id node.ID, a *auth.Auth) runtime.Transport
-	recv(id node.ID) <-chan runtime.Frame
+	recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool)
+	drops() uint64
 	close() error
 }
 
@@ -75,8 +76,11 @@ type hubFabric struct{ hub *runtime.Hub }
 func (f hubFabric) endpoint(id node.ID, a *auth.Auth) runtime.Transport {
 	return f.hub.Endpoint(id, a)
 }
-func (f hubFabric) recv(id node.ID) <-chan runtime.Frame { return f.hub.Recv(id) }
-func (f hubFabric) close() error                         { f.hub.Close(); return nil }
+func (f hubFabric) recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool) {
+	return f.hub.Recv(id, stop)
+}
+func (f hubFabric) drops() uint64 { return f.hub.Drops() }
+func (f hubFabric) close() error  { f.hub.Close(); return nil }
 
 // tcpFabric adapts a persistent runtime.TCPNet.
 type tcpFabric struct{ net *runtime.TCPNet }
@@ -84,11 +88,14 @@ type tcpFabric struct{ net *runtime.TCPNet }
 func (f tcpFabric) endpoint(id node.ID, a *auth.Auth) runtime.Transport {
 	return f.net.Endpoint(id, a)
 }
-func (f tcpFabric) recv(id node.ID) <-chan runtime.Frame { return f.net.Recv(id) }
-func (f tcpFabric) close() error                         { return f.net.Close() }
+func (f tcpFabric) recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool) {
+	return f.net.Recv(id, stop)
+}
+func (f tcpFabric) drops() uint64 { return f.net.Drops() }
+func (f tcpFabric) close() error  { return f.net.Close() }
 
-// drainer discards frames arriving on one slot's shared inbound channel
-// while no driver is reading it.
+// drainer discards frames arriving on one slot's shared inbox while no
+// driver is reading it.
 type drainer struct {
 	stop chan struct{}
 	done chan struct{}
@@ -113,6 +120,7 @@ type clusterSession struct {
 	n       int
 	timeout time.Duration
 	fab     fabric
+	noBatch bool
 
 	mu       sync.Mutex
 	closed   bool
@@ -121,12 +129,13 @@ type clusterSession struct {
 }
 
 // newClusterSession builds the session and starts draining every slot.
-func newClusterSession(kind bench.BackendKind, n int, timeout time.Duration, fab fabric) *clusterSession {
+func newClusterSession(kind bench.BackendKind, n int, timeout time.Duration, fab fabric, noBatch bool) *clusterSession {
 	s := &clusterSession{
 		kind:     kind,
 		n:        n,
 		timeout:  timeout,
 		fab:      fab,
+		noBatch:  noBatch,
 		drainers: make([]*drainer, n),
 	}
 	s.mu.Lock()
@@ -144,17 +153,13 @@ func (s *clusterSession) startDrain(i int) {
 	}
 	d := &drainer{stop: make(chan struct{}), done: make(chan struct{})}
 	s.drainers[i] = d
-	ch := s.fab.recv(node.ID(i))
+	id := node.ID(i)
 	go func() {
 		defer close(d.done)
 		for {
-			select {
-			case <-d.stop:
+			if _, ok := s.fab.recv(id, d.stop); !ok {
+				// Stopped, or the fabric closed under us — either way, done.
 				return
-			case _, ok := <-ch:
-				if !ok {
-					return
-				}
 			}
 		}
 	}()
@@ -238,8 +243,10 @@ func (s *clusterSession) Run(spec bench.RunSpec) (RunResult, error) {
 		}),
 		runtime.WithWaitFor(sc.honest),
 		runtime.WithTransportRelease(release),
+		runtime.WithFrameBatching(!s.noBatch),
 	}
 	cfg := node.Config{N: spec.N, F: spec.F}
+	dropsBefore := s.fab.drops()
 	res, runErr := runtime.RunCluster(ctx, cfg, sc.procs, master, sc.reg, opts...)
 	// RunCluster has invoked release on every path; resume again anyway
 	// (idempotent), then wait out the wrappers' in-flight delayed sends —
@@ -255,7 +262,14 @@ func (s *clusterSession) Run(spec bench.RunSpec) (RunResult, error) {
 	if runErr != nil {
 		return RunResult{}, runErr
 	}
-	return clusterStats(spec, s.kind, res, sc.acct, ctx, sc.timeout)
+	r, err := clusterStats(spec, s.kind, res, sc.acct, ctx, sc.timeout)
+	if err != nil {
+		return RunResult{}, err
+	}
+	// The fabric outlives the trial, so the trial's observable frame loss is
+	// the counter's delta. A clean trial reads zero.
+	r.Stats.TransportDrops = s.fab.drops() - dropsBefore
+	return r, nil
 }
 
 // Close implements Session.

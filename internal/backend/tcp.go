@@ -3,6 +3,7 @@ package backend
 import (
 	"fmt"
 	"net"
+	"sync"
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
@@ -11,10 +12,12 @@ import (
 
 // tcpFactory binds one loopback listener per node up front (so every
 // node's dial address is known before any transport starts) and returns a
-// TransportFactory producing runtime.NewTCP endpoints over them. cleanup
-// closes the listeners of slots whose transport was never built (crashed
-// nodes); built transports own — and close — their listener themselves.
-func tcpFactory(n int) (runtime.TransportFactory, func(), error) {
+// TransportFactory producing runtime.NewTCP endpoints over them, plus a
+// drops reader summing the built transports' observable frame-loss
+// counters. cleanup closes the listeners of slots whose transport was never
+// built (crashed nodes); built transports own — and close — their listener
+// themselves.
+func tcpFactory(n int) (runtime.TransportFactory, func(), func() uint64, error) {
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {
@@ -23,18 +26,24 @@ func tcpFactory(n int) (runtime.TransportFactory, func(), error) {
 			for _, open := range lns[:i] {
 				open.Close()
 			}
-			return nil, nil, fmt.Errorf("backend: bind node %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("backend: bind node %d: %w", i, err)
 		}
 		lns[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
 	claimed := make([]bool, n)
+	var mu sync.Mutex
+	var built []interface{ Drops() uint64 }
 	factory := func(id node.ID, a *auth.Auth) (runtime.Transport, error) {
 		if int(id) < 0 || int(id) >= n {
 			return nil, fmt.Errorf("backend: tcp transport for out-of-range node %v", id)
 		}
 		claimed[id] = true
-		return runtime.NewTCP(id, addrs, lns[id], a), nil
+		tr := runtime.NewTCP(id, addrs, lns[id], a)
+		mu.Lock()
+		built = append(built, tr.(interface{ Drops() uint64 }))
+		mu.Unlock()
+		return tr, nil
 	}
 	cleanup := func() {
 		for i, ln := range lns {
@@ -43,5 +52,14 @@ func tcpFactory(n int) (runtime.TransportFactory, func(), error) {
 			}
 		}
 	}
-	return factory, cleanup, nil
+	drops := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		var total uint64
+		for _, tr := range built {
+			total += tr.Drops()
+		}
+		return total
+	}
+	return factory, cleanup, drops, nil
 }

@@ -112,6 +112,12 @@ type RunStats struct {
 	// time. Wall is measured, not simulated, so it varies run to run and
 	// is excluded from byte-identity guarantees.
 	Wall time.Duration
+	// TransportDrops counts frames the live transports observably lost
+	// during the run (mid-frame read failures, oversized frames, shutdown
+	// races) — zero on the simulator and on any clean live run. Non-zero
+	// values rule transport loss in when investigating cross-backend
+	// disagreement.
+	TransportDrops uint64
 }
 
 // defaultRounds derives the baselines' halving-round count from Delphi's

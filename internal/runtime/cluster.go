@@ -60,6 +60,7 @@ type clusterOpts struct {
 	wrap       TransportWrapper
 	waitFor    []node.ID
 	release    func()
+	noBatch    bool
 }
 
 // ClusterOption customises RunCluster.
@@ -88,6 +89,13 @@ func WithTransportWrap(w TransportWrapper) ClusterOption {
 // would otherwise do (e.g. by draining the receivers' inbound channels).
 func WithTransportRelease(release func()) ClusterOption {
 	return func(o *clusterOpts) { o.release = release }
+}
+
+// WithFrameBatching toggles the drivers' per-step outbound frame batching
+// (default on; see Driver). Off sends every protocol message as its own
+// sealed write — the pre-batching wire behaviour — for A/B comparison.
+func WithFrameBatching(on bool) ClusterOption {
+	return func(o *clusterOpts) { o.noBatch = !on }
 }
 
 // WithWaitFor ends the run once every listed node's driver has exited,
@@ -167,7 +175,7 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 			tr = o.wrap(node.ID(i), tr)
 		}
 		transports[i] = tr
-		drivers[i] = NewDriver(cfg, node.ID(i), p, tr, a, reg)
+		drivers[i] = NewDriver(cfg, node.ID(i), p, tr, a, reg, WithDriverBatching(!o.noBatch))
 	}
 	// WithWaitFor: once every listed (and actually running) driver exits,
 	// cancel the rest instead of waiting on processes that never halt.

@@ -1,0 +1,179 @@
+package runtime
+
+import "sync"
+
+// inbox is a growable ring buffer of inbound frames: the per-node mailbox
+// behind every transport's Recv. It replaces the buffered `chan Frame` the
+// transports used to hand out, for three reasons the channel could not
+// deliver together:
+//
+//   - FIFO under overflow. A full channel forced senders onto parked
+//     handoff goroutines that later sends could overtake, breaking
+//     per-link ordering. The ring grows instead of parking, so frames
+//     leave in exactly the order put() accepted them.
+//   - Cheap steady state. One mutexed append/pop per frame instead of a
+//     channel send/receive pair with goroutine parking on every hop.
+//   - Buffer recycling. The inbox doubles as the frame-buffer freelist:
+//     producers borrow buffers sized for their frame (getBuf) and the
+//     consumer returns them once a frame is fully processed (recycle), so
+//     steady-state traffic allocates nothing.
+//
+// put never blocks; get blocks until a frame arrives, the inbox closes, or
+// the caller's stop channel closes. Closing wakes every waiting getter;
+// frames already accepted remain receivable after close (matching the
+// drained-then-closed semantics of a closed Go channel).
+type inbox struct {
+	mu     sync.Mutex
+	buf    []Frame
+	head   int // index of the oldest frame
+	count  int
+	closed bool
+	// wake carries "the ring may have changed" tokens to blocked getters.
+	// Capacity 1: put drops the token when one is already pending, and
+	// getters re-check the ring in a loop, so spurious wakeups are safe
+	// and lost wakeups impossible.
+	wake chan struct{}
+	// free is the bounded frame-buffer freelist (see getBuf/recycle).
+	free [][]byte
+}
+
+// inboxFreeCap bounds the freelist length; inboxBufCap bounds the capacity
+// of any recycled buffer so one oversized frame cannot pin memory forever.
+const (
+	inboxFreeCap = 256
+	inboxBufCap  = 64 << 10
+)
+
+// newInbox returns an inbox with the given initial ring capacity.
+func newInbox(capHint int) *inbox {
+	if capHint < 16 {
+		capHint = 16
+	}
+	return &inbox{
+		buf:  make([]Frame, capHint),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// put appends f, growing the ring if full. It reports false — without
+// accepting the frame — once the inbox is closed.
+func (b *inbox) put(f Frame) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	if b.count == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.count)%len(b.buf)] = f
+	b.count++
+	b.mu.Unlock()
+	b.signal()
+	return true
+}
+
+// grow doubles the ring, unrolling the wrap. Caller holds b.mu.
+func (b *inbox) grow() {
+	next := make([]Frame, 2*len(b.buf))
+	n := copy(next, b.buf[b.head:])
+	copy(next[n:], b.buf[:b.head])
+	b.buf = next
+	b.head = 0
+}
+
+// signal posts a non-blocking wakeup token.
+func (b *inbox) signal() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// get returns the next frame in arrival order. It blocks until one is
+// available and reports false when the inbox is closed and drained, or when
+// stop closes first. A nil stop never fires.
+func (b *inbox) get(stop <-chan struct{}) (Frame, bool) {
+	for {
+		if f, ok := b.tryGet(); ok {
+			return f, true
+		}
+		b.mu.Lock()
+		empty, closed := b.count == 0, b.closed
+		b.mu.Unlock()
+		if closed && empty {
+			// Cascade the wakeup so every other blocked getter (a driver
+			// overlapping a session drainer during teardown) also observes
+			// the close instead of sleeping forever.
+			b.signal()
+			return Frame{}, false
+		}
+		if !empty {
+			continue
+		}
+		select {
+		case <-b.wake:
+		case <-stop:
+			return Frame{}, false
+		}
+	}
+}
+
+// tryGet pops the next frame without blocking.
+func (b *inbox) tryGet() (Frame, bool) {
+	b.mu.Lock()
+	if b.count == 0 {
+		b.mu.Unlock()
+		return Frame{}, false
+	}
+	f := b.buf[b.head]
+	b.buf[b.head] = Frame{} // drop the reference for GC
+	b.head = (b.head + 1) % len(b.buf)
+	b.count--
+	b.mu.Unlock()
+	return f, true
+}
+
+// close marks the inbox closed and wakes every blocked getter. Frames
+// already accepted stay receivable; put rejects from now on. Idempotent.
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.free = nil
+	b.mu.Unlock()
+	b.signal()
+}
+
+// getBuf returns a frame buffer of length n, reusing a recycled one when a
+// large enough buffer is on the freelist.
+func (b *inbox) getBuf(n int) []byte {
+	b.mu.Lock()
+	for i := len(b.free) - 1; i >= 0; i-- {
+		if cap(b.free[i]) >= n {
+			buf := b.free[i]
+			b.free[i] = b.free[len(b.free)-1]
+			b.free[len(b.free)-1] = nil
+			b.free = b.free[:len(b.free)-1]
+			b.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	b.mu.Unlock()
+	if n < 64 {
+		return make([]byte, n, 64)
+	}
+	return make([]byte, n)
+}
+
+// recycle returns a frame buffer to the freelist. Callers must be done with
+// every alias of buf: the next getBuf hands it to another frame.
+func (b *inbox) recycle(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > inboxBufCap {
+		return
+	}
+	b.mu.Lock()
+	if !b.closed && len(b.free) < inboxFreeCap {
+		b.free = append(b.free, buf)
+	}
+	b.mu.Unlock()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	goruntime "runtime"
 	"sync"
 
 	"delphi/internal/auth"
@@ -11,9 +12,24 @@ import (
 	"delphi/internal/wire"
 )
 
+// flushEvery bounds how many inbound frames the driver processes before it
+// force-flushes pending outbound batches (and checks its context), so a
+// never-idle inbox cannot defer sends or cancellation indefinitely.
+const flushEvery = 64
+
 // Driver runs one protocol process over a transport. Messages are decoded,
 // authenticated, and delivered sequentially; outputs are published on a
 // channel; Halt stops the loop.
+//
+// With batching on (the default), the driver coalesces every frame the
+// process emits for one destination during one protocol step — processing
+// one inbound frame or envelope, or Init — into a single batch envelope
+// (see BatchType), sealed and sent as one transport write. Batches are
+// flushed whenever the inbox goes momentarily idle (so a node about to
+// block never withholds traffic its peers are waiting for), when the
+// process halts, and at the latest every flushEvery inbound frames. The
+// receiving driver unpacks envelopes back into per-message deliveries in
+// arrival order, so per-link FIFO is preserved end to end.
 type Driver struct {
 	cfg   node.Config
 	id    node.ID
@@ -26,21 +42,46 @@ type Driver struct {
 	once  sync.Once
 	errMu sync.Mutex
 	err   error
+
+	batch     bool
+	rec       Recycler   // tr's buffer pool, when it has one
+	pend      [][][]byte // per-destination frames awaiting flush
+	pendCount int
+	scratch   []byte // envelope build buffer, reused across flushes
+}
+
+// DriverOption customises a Driver.
+type DriverOption func(*Driver)
+
+// WithDriverBatching toggles per-step outbound frame batching (default
+// on). Off reproduces the one-write-per-message wire behaviour, for A/B
+// benchmarks and bisection.
+func WithDriverBatching(on bool) DriverOption {
+	return func(d *Driver) { d.batch = on }
 }
 
 // NewDriver wires a process to a transport. The auth verifies inbound
 // frames (transports seal outbound ones with the same keys).
-func NewDriver(cfg node.Config, id node.ID, proc node.Process, tr Transport, a *auth.Auth, reg *wire.Registry) *Driver {
-	return &Driver{
-		cfg:  cfg,
-		id:   id,
-		proc: proc,
-		tr:   tr,
-		reg:  reg,
-		auth: a,
-		out:  make(chan any, 16),
-		halt: make(chan struct{}),
+func NewDriver(cfg node.Config, id node.ID, proc node.Process, tr Transport, a *auth.Auth, reg *wire.Registry, opts ...DriverOption) *Driver {
+	d := &Driver{
+		cfg:   cfg,
+		id:    id,
+		proc:  proc,
+		tr:    tr,
+		reg:   reg,
+		auth:  a,
+		out:   make(chan any, 16),
+		halt:  make(chan struct{}),
+		batch: true,
 	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.rec, _ = tr.(Recycler)
+	if d.batch {
+		d.pend = make([][][]byte, cfg.N)
+	}
+	return d
 }
 
 // Outputs returns the channel of protocol outputs. It is closed when the
@@ -57,15 +98,25 @@ func (e *driverEnv) N() int        { return e.d.cfg.N }
 func (e *driverEnv) F() int        { return e.d.cfg.F }
 
 func (e *driverEnv) Send(to node.ID, m node.Message) {
+	d := e.d
 	frame, err := wire.Encode(m)
 	if err != nil {
-		e.d.setErr(fmt.Errorf("encode: %w", err))
+		d.setErr(fmt.Errorf("encode: %w", err))
 		return
 	}
-	if err := e.d.tr.Send(to, frame); err != nil {
+	if d.batch {
+		if int(to) < 0 || int(to) >= d.cfg.N {
+			log.Printf("node %v: send to %v: bad destination", d.id, to)
+			return
+		}
+		d.pend[to] = append(d.pend[to], frame)
+		d.pendCount++
+		return
+	}
+	if err := d.tr.Send(to, frame); err != nil {
 		// Transport failures to individual peers are expected under faults;
 		// the protocol layer tolerates them as (permanent) delays.
-		log.Printf("node %v: send to %v: %v", e.d.id, to, err)
+		log.Printf("node %v: send to %v: %v", d.id, to, err)
 	}
 }
 
@@ -107,38 +158,144 @@ func (d *Driver) Err() error {
 	return d.err
 }
 
+// flush sends every pending per-destination batch: single frames as-is, two
+// or more as one envelope. Destinations are visited in id order so the
+// wire schedule is a deterministic function of the protocol's sends.
+func (d *Driver) flush() {
+	if d.pendCount == 0 {
+		return
+	}
+	for to := range d.pend {
+		frames := d.pend[to]
+		if len(frames) == 0 {
+			continue
+		}
+		var err error
+		if len(frames) == 1 {
+			err = d.tr.Send(node.ID(to), frames[0])
+		} else {
+			d.scratch = AppendBatch(d.scratch[:0], frames)
+			err = d.tr.Send(node.ID(to), d.scratch)
+		}
+		if err != nil {
+			// Tolerated as (permanent) delay, exactly like unbatched sends.
+			log.Printf("node %v: send to %v: %v", d.id, to, err)
+		}
+		for i := range frames {
+			frames[i] = nil
+		}
+		d.pend[to] = frames[:0]
+	}
+	d.pendCount = 0
+}
+
+// deliverOne decodes and delivers a single protocol frame; it reports
+// false once the process has halted.
+func (d *Driver) deliverOne(from node.ID, frame []byte) bool {
+	m, err := d.reg.DecodeFramed(frame)
+	if err != nil {
+		log.Printf("node %v: drop undecodable frame from %v: %v", d.id, from, err)
+		return true
+	}
+	d.proc.Deliver(from, m)
+	select {
+	case <-d.halt:
+		return false
+	default:
+		return true
+	}
+}
+
+// deliverFrame authenticates an inbound frame, unpacks it if it is a batch
+// envelope, delivers its messages in order, and recycles the frame buffer.
+// It reports false once the process has halted.
+func (d *Driver) deliverFrame(f Frame) bool {
+	live := true
+	opened, err := d.auth.Open(f.From, f.Data)
+	switch {
+	case err != nil:
+		log.Printf("node %v: drop unauthentic frame from %v: %v", d.id, f.From, err)
+	case IsBatch(opened):
+		if err := UnpackBatch(opened, func(inner []byte) bool {
+			live = d.deliverOne(f.From, inner)
+			return live
+		}); err != nil {
+			log.Printf("node %v: drop %v from %v", d.id, err, f.From)
+		}
+	default:
+		live = d.deliverOne(f.From, opened)
+	}
+	// The decoded messages copied every byte they keep, so the buffer can
+	// go back to the transport's pool.
+	if d.rec != nil {
+		d.rec.Recycle(f.Data)
+	}
+	return live
+}
+
 // Run initialises the process and delivers messages until the process
 // halts, the context is cancelled, or the transport closes.
 func (d *Driver) Run(ctx context.Context) error {
 	env := &driverEnv{d: d}
-	d.proc.Init(env)
 	defer close(d.out)
-	for {
+	d.proc.Init(env)
+	select {
+	case <-d.halt:
+		d.flush()
+		return nil
+	default:
+	}
+	d.flush()
+	// stop unblocks a Recv when the context is cancelled or the process
+	// halts from another step; finished retires the watcher on exit.
+	finished := make(chan struct{})
+	defer close(finished)
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
 		case <-d.halt:
-			return nil
-		case f, ok := <-d.tr.Recv():
+		case <-finished:
+		}
+	}()
+	delivered := 0
+	for {
+		f, ok := d.tr.TryRecv()
+		if !ok && d.batch {
+			// The inbox looks dry, but frames are often only a scheduler
+			// slice away (a read loop holding a frame it has not enqueued
+			// yet). With output pending, yield once before sealing it:
+			// frames that land now are processed into the same batch,
+			// turning what would be several single-frame writes into one
+			// envelope. With nothing pending there is nothing to coalesce,
+			// so the driver goes straight to the blocking receive.
+			goruntime.Gosched()
+			f, ok = d.tr.TryRecv()
+		}
+		if !ok {
+			// Idle: everything the last steps produced goes out before this
+			// node blocks — peers may need it to make the progress that
+			// produces our next inbound frame.
+			d.flush()
+			delivered = 0
+			f, ok = d.tr.Recv(stop)
 			if !ok {
-				return nil
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return nil // halted or transport closed
 			}
-			opened, err := d.auth.Open(f.From, f.Data)
-			if err != nil {
-				log.Printf("node %v: drop unauthentic frame from %v: %v", d.id, f.From, err)
-				continue
-			}
-			m, err := d.reg.DecodeFramed(opened)
-			if err != nil {
-				log.Printf("node %v: drop undecodable frame from %v: %v", d.id, f.From, err)
-				continue
-			}
-			d.proc.Deliver(f.From, m)
-			// Halt may have been requested during the delivery.
-			select {
-			case <-d.halt:
-				return nil
-			default:
+		}
+		if !d.deliverFrame(f) {
+			d.flush()
+			return nil
+		}
+		if delivered++; delivered >= flushEvery {
+			d.flush()
+			delivered = 0
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 		}
 	}

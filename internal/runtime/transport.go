@@ -3,6 +3,28 @@
 // length-prefixed, HMAC-authenticated frames for multi-process deployments
 // (cmd/delphi). The same protocol code that runs under the simulator runs
 // here unchanged.
+//
+// # Frame-buffer ownership
+//
+// The transports pool buffers, so ownership is strict:
+//
+//   - Send does not retain the frame slice after it returns. Transports
+//     that transmit later (the backend delay wrapper) copy first. Callers
+//     may therefore reuse a frame buffer the moment Send returns.
+//   - The frame handed out by Recv/TryRecv is owned by the receiver until
+//     it optionally returns the buffer via the transport's Recycle; after
+//     Recycle the buffer belongs to the transport again and must not be
+//     touched. Receivers that never call Recycle simply leave reclamation
+//     to the GC (decoded messages copy every byte slice out of the frame,
+//     so nothing downstream aliases it).
+//
+// # Per-link ordering
+//
+// Both transports deliver frames from a given sender to a given receiver
+// in Send order: the hub because each inbox is a FIFO ring that grows
+// instead of parking overflow senders, TCP because each (sender, receiver)
+// link is one connection with serialised frame writes. An adversarial
+// delay wrapper on top may reorder — that is its job.
 package runtime
 
 import (
@@ -11,6 +33,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
@@ -20,36 +43,49 @@ import (
 type Frame struct {
 	// From is the verified sender.
 	From node.ID
-	// Data is the type byte plus message body.
+	// Data is the sealed frame: type byte plus message body plus MAC.
 	Data []byte
 }
 
 // Transport moves sealed frames between nodes.
 type Transport interface {
-	// Send transmits an authenticated frame to a peer.
+	// Send transmits an authenticated frame to a peer. The frame slice is
+	// not retained past the call.
 	Send(to node.ID, frame []byte) error
-	// Recv returns the channel of inbound frames.
-	Recv() <-chan Frame
+	// Recv blocks for the next inbound frame, in per-link FIFO order. It
+	// reports false when the transport is closed and drained, or when stop
+	// closes first; a nil stop never fires.
+	Recv(stop <-chan struct{}) (Frame, bool)
+	// TryRecv returns the next inbound frame without blocking.
+	TryRecv() (Frame, bool)
 	// Close shuts the transport down and unblocks Recv.
 	Close() error
 }
 
-// Hub is an in-memory message switch connecting n in-process nodes.
+// Recycler is implemented by transports whose Recv frames come from a
+// buffer pool. A receiver that is finished with a frame (and every alias
+// into it) may hand the buffer back for reuse.
+type Recycler interface {
+	Recycle(buf []byte)
+}
+
+// Hub is an in-memory message switch connecting n in-process nodes. Each
+// node's inbox is a FIFO ring that grows under bursts, so per-link send
+// order is delivery order and senders never block or park.
 type Hub struct {
-	n      int
-	mu     sync.Mutex
-	inbox  []chan Frame
-	closed bool
+	n     int
+	inbox []*inbox
+	drops atomic.Uint64
 }
 
 // NewHub creates a hub for n nodes.
 func NewHub(n int) *Hub {
-	h := &Hub{n: n, inbox: make([]chan Frame, n)}
+	h := &Hub{n: n, inbox: make([]*inbox, n)}
 	for i := range h.inbox {
-		// Generously buffered: protocol bursts are n messages per step and
-		// a blocked sender would deadlock two nodes delivering to each
-		// other. Overflow falls back to a goroutine (never drops).
-		h.inbox[i] = make(chan Frame, 4*n*n+64)
+		// Sized for a protocol burst (n messages per step, batched into
+		// envelopes); the ring grows past this instead of dropping or
+		// blocking.
+		h.inbox[i] = newInbox(4*n + 64)
 	}
 	return h
 }
@@ -62,22 +98,24 @@ func (h *Hub) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &hubTransport{hub: h, id: id, auth: a}
 }
 
-// Recv exposes node id's inbox — shared by every endpoint for id — so a
-// session can drain frames addressed to idle or crashed slots between runs.
-func (h *Hub) Recv(id node.ID) <-chan Frame { return h.inbox[id] }
+// Recv receives the next frame addressed to node id — the inbox is shared
+// by every endpoint for id — so a session can drain frames addressed to
+// idle or crashed slots between runs. Semantics match Transport.Recv.
+func (h *Hub) Recv(id node.ID, stop <-chan struct{}) (Frame, bool) {
+	return h.inbox[id].get(stop)
+}
 
-// Close shuts the hub down: every inbox is closed, unblocking any receiver
-// still draining and any overflow sender still parked on a full inbox (its
-// send panics on the closed channel and is recovered). Safe to call more
-// than once.
+// Drops returns the number of frames discarded because they arrived after
+// Close — observable so shutdown races can be ruled in or out when
+// investigating message loss.
+func (h *Hub) Drops() uint64 { return h.drops.Load() }
+
+// Close shuts the hub down: every inbox is closed, which unblocks any
+// receiver still draining. Senders never park (the rings grow), so there
+// is nothing else to release. Safe to call more than once.
 func (h *Hub) Close() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		for _, ch := range h.inbox {
-			close(ch)
-		}
+	for _, b := range h.inbox {
+		b.close()
 	}
 }
 
@@ -88,44 +126,44 @@ type hubTransport struct {
 }
 
 var _ Transport = (*hubTransport)(nil)
+var _ Recycler = (*hubTransport)(nil)
 
 func (t *hubTransport) Send(to node.ID, frame []byte) error {
 	if int(to) < 0 || int(to) >= t.hub.n {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
-	sealed := t.auth.Seal(to, frame)
-	f := Frame{From: t.id, Data: sealed}
-	// The closed check and the non-blocking enqueue share one critical
-	// section with Close, so the fast path can never send on a closed
-	// channel.
-	t.hub.mu.Lock()
-	if t.hub.closed {
-		t.hub.mu.Unlock()
-		return nil
+	box := t.hub.inbox[to]
+	// Seal into a buffer recycled from the destination's inbox: the
+	// receiver hands it back after delivery, so steady-state sends are
+	// alloc-free.
+	sealed := t.auth.AppendSeal(to, box.getBuf(len(frame) + auth.MACSize)[:0], frame)
+	if !box.put(Frame{From: t.id, Data: sealed}) {
+		// Closed hub: dropping is correct (the run is over), but counted.
+		t.hub.drops.Add(1)
 	}
-	select {
-	case t.hub.inbox[to] <- f:
-		t.hub.mu.Unlock()
-		return nil
-	default:
-	}
-	t.hub.mu.Unlock()
-	// Inbox full: hand off without blocking the protocol step. The handoff
-	// races with shutdown by design; a close while it is parked unblocks it
-	// via the recovered panic.
-	go func() {
-		defer func() { _ = recover() }() // closed channel during shutdown
-		t.hub.inbox[to] <- f
-	}()
 	return nil
 }
 
-func (t *hubTransport) Recv() <-chan Frame { return t.hub.inbox[t.id] }
+func (t *hubTransport) Recv(stop <-chan struct{}) (Frame, bool) {
+	return t.hub.inbox[t.id].get(stop)
+}
+
+func (t *hubTransport) TryRecv() (Frame, bool) {
+	return t.hub.inbox[t.id].tryGet()
+}
+
+func (t *hubTransport) Recycle(buf []byte) {
+	t.hub.inbox[t.id].recycle(buf)
+}
 
 func (t *hubTransport) Close() error {
 	t.hub.Close()
 	return nil
 }
+
+// DialFunc dials a peer's listen address. It exists so tests can inject
+// slow, blackholed, or instrumented dials; production code uses net.Dial.
+type DialFunc func(addr string) (net.Conn, error)
 
 // tcpTransport connects a node to its peers over TCP with 4-byte
 // length-prefixed frames: [sender u32][len u32][sealed frame]. It is both
@@ -137,39 +175,59 @@ type tcpTransport struct {
 	addrs []string
 	ln    net.Listener
 	auth  *auth.Auth // nil for TCPNet cores
+	dial  DialFunc
 
-	// mu guards the connection maps only — never a blocking Write. Each
-	// outbound connection carries its own writer lock (tcpConn.mu) for
-	// frame atomicity, so Close can always take mu and close the
-	// underlying conns, unblocking any writer stuck on a saturated peer.
+	in *inbox
+	// drops counts frames observably lost by this core: a body read that
+	// failed mid-frame, an oversized frame, or a frame that raced shutdown
+	// after its connection had already delivered it.
+	drops atomic.Uint64
+
+	// peers holds per-destination dial/write state. Each slot carries its
+	// own lock, so a stalled dial or a write blocked on one saturated peer
+	// never delays sends to other peers — and never delays Close, which
+	// only takes the transport-wide mu.
+	peers []peerConn
+
+	// mu guards closed and the connection registries only. It is never
+	// held across a dial or a blocking write, so Close can always acquire
+	// it promptly.
 	mu       sync.Mutex
 	closed   bool
-	conns    map[node.ID]*tcpConn
+	dialed   map[node.ID]net.Conn
 	accepted map[net.Conn]struct{}
-	in       chan Frame
-	done     chan struct{}
 	wg       sync.WaitGroup
 }
 
-// tcpConn is one outbound connection with its frame-write lock.
-type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+// peerConn is one destination's outbound state: the connection (nil until
+// dialed), the dial/write lock serialising access to it, and the write
+// scratch frames are sealed into. Holding mu across the dial is what makes
+// concurrent sends to an unreachable peer singleflight: the second sender
+// waits for the first dial's verdict instead of dialing again.
+type peerConn struct {
+	mu      sync.Mutex
+	c       net.Conn
+	scratch []byte
 }
 
 var _ Transport = (*tcpTransport)(nil)
+var _ Recycler = (*tcpTransport)(nil)
 
 // newTCPCore builds the transport machinery and starts its accept loop.
-func newTCPCore(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) *tcpTransport {
+func newTCPCore(self node.ID, addrs []string, ln net.Listener, a *auth.Auth, dial DialFunc) *tcpTransport {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
 	t := &tcpTransport{
 		self:     self,
 		addrs:    addrs,
 		ln:       ln,
 		auth:     a,
-		conns:    make(map[node.ID]*tcpConn),
+		dial:     dial,
+		in:       newInbox(1024),
+		peers:    make([]peerConn, len(addrs)),
+		dialed:   make(map[node.ID]net.Conn),
 		accepted: make(map[net.Conn]struct{}),
-		in:       make(chan Frame, 1024),
-		done:     make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -180,7 +238,12 @@ func newTCPCore(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) *tc
 // listen address (index = node id). The listener must already be bound to
 // addrs[self].
 func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transport {
-	return newTCPCore(self, addrs, ln, a)
+	return newTCPCore(self, addrs, ln, a, nil)
+}
+
+// NewTCPDial is NewTCP with an injected dialer (nil means net.Dial).
+func NewTCPDial(self node.ID, addrs []string, ln net.Listener, a *auth.Auth, dial DialFunc) Transport {
+	return newTCPCore(self, addrs, ln, a, dial)
 }
 
 func (t *tcpTransport) acceptLoop() {
@@ -191,9 +254,15 @@ func (t *tcpTransport) acceptLoop() {
 			return // listener closed
 		}
 		t.mu.Lock()
+		if t.closed {
+			// Raced Close: nobody will close this conn later.
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
 		t.accepted[conn] = struct{}{}
-		t.mu.Unlock()
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
@@ -214,92 +283,131 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// Connection closed between frames: normal peer shutdown, no
+			// frame was in flight, nothing to count.
 			return
 		}
 		from := node.ID(binary.LittleEndian.Uint32(hdr[0:]))
 		n := binary.LittleEndian.Uint32(hdr[4:])
 		if n > 64<<20 {
-			return // oversized frame: drop the connection
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.drops.Add(1) // oversized frame: drop the connection
 			return
 		}
-		select {
-		case t.in <- Frame{From: from, Data: buf}:
-		case <-t.done:
+		buf := t.in.getBuf(int(n))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			// The header arrived but the body did not: a frame was lost
+			// mid-flight (peer died, or Close cut the connection under a
+			// frame). Count it so cross-backend disagreement investigations
+			// can rule transport loss in or out.
+			t.drops.Add(1)
+			t.in.recycle(buf)
+			return
+		}
+		if !t.in.put(Frame{From: from, Data: buf}) {
+			t.drops.Add(1) // fully received, then raced shutdown
 			return
 		}
 	}
 }
 
-func (t *tcpTransport) conn(to node.ID) (*tcpConn, error) {
+// connTo returns to's connection, dialing under the peer lock (held by the
+// caller) if absent. The transport-wide mu is taken only around the closed
+// check and registry update — never across the dial — so one unreachable
+// peer cannot stall sends to others or Close.
+func (t *tcpTransport) connTo(to node.ID, pc *peerConn) (net.Conn, error) {
+	if pc.c != nil {
+		return pc.c, nil
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		// Without this check a Send racing Close would re-dial and park a
-		// fresh connection in the map nobody will ever close.
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
 		return nil, fmt.Errorf("runtime: transport closed")
 	}
-	if c, ok := t.conns[to]; ok {
-		return c, nil
-	}
-	c, err := net.Dial("tcp", t.addrs[to])
+	c, err := t.dial(t.addrs[to])
 	if err != nil {
 		return nil, err
 	}
-	tc := &tcpConn{c: c}
-	t.conns[to] = tc
-	return tc, nil
+	t.mu.Lock()
+	if t.closed {
+		// Close ran while we were dialing; it cannot see this conn, so we
+		// must not install it.
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("runtime: transport closed")
+	}
+	t.dialed[to] = c
+	t.mu.Unlock()
+	pc.c = c
+	return c, nil
 }
 
-// dropConn removes a failed connection (if still current) and closes it.
-func (t *tcpTransport) dropConn(to node.ID, tc *tcpConn) {
+// dropConn forgets to's connection after a failed write (if still current)
+// and closes it. Caller holds pc.mu.
+func (t *tcpTransport) dropConn(to node.ID, pc *peerConn, c net.Conn) {
+	pc.c = nil
 	t.mu.Lock()
-	if t.conns[to] == tc {
-		delete(t.conns, to)
+	if t.dialed[to] == c {
+		delete(t.dialed, to)
 	}
 	t.mu.Unlock()
-	tc.c.Close()
+	c.Close()
 }
 
 func (t *tcpTransport) Send(to node.ID, frame []byte) error {
 	if t.auth == nil {
 		return fmt.Errorf("runtime: send on a TCPNet core (use an Endpoint)")
 	}
+	return t.sendFrame(to, t.auth, frame)
+}
+
+// sendFrame seals and writes one frame to peer to, dialing (or re-dialing)
+// as needed. Header, payload, and MAC are assembled in the peer's write
+// scratch and go out as one buffer — one syscall per frame, no allocation
+// in steady state.
+func (t *tcpTransport) sendFrame(to node.ID, a *auth.Auth, frame []byte) error {
 	if int(to) < 0 || int(to) >= len(t.addrs) {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
-	return t.sendSealed(to, t.auth.Seal(to, frame))
-}
-
-// sendSealed frames and writes an already-sealed payload, dialing (or
-// re-dialing) the peer as needed. Header and payload go out as one buffer:
-// one syscall per frame instead of two, which matters when a trial pushes
-// thousands of small frames through the loopback.
-func (t *tcpTransport) sendSealed(to node.ID, sealed []byte) error {
-	tc, err := t.conn(to)
+	pc := &t.peers[to]
+	// One lock per destination: serialises the dial and the frame write to
+	// this peer (write interleaving would corrupt framing) while leaving
+	// every other peer — and Close — untouched.
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	c, err := t.connTo(to, pc)
 	if err != nil {
 		return fmt.Errorf("runtime: dial %v: %w", to, err)
 	}
-	buf := make([]byte, 8+len(sealed))
+	buf := append(pc.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = a.AppendSeal(to, buf, frame)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(t.self))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(sealed)))
-	copy(buf[8:], sealed)
-	// Serialise frame writes per connection, not transport-wide: a writer
-	// blocked on a saturated peer must not stop Close (or sends to other
-	// peers); Close unblocks it by closing the conn under its feet.
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if _, err := tc.c.Write(buf); err != nil {
-		t.dropConn(to, tc)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(buf)-8))
+	pc.scratch = buf
+	if _, err := c.Write(buf); err != nil {
+		// Close unblocks a writer stuck on a saturated peer by closing the
+		// conn under its feet; either way the next send re-dials.
+		t.dropConn(to, pc, c)
 		return err
 	}
 	return nil
 }
 
-func (t *tcpTransport) Recv() <-chan Frame { return t.in }
+func (t *tcpTransport) Recv(stop <-chan struct{}) (Frame, bool) { return t.in.get(stop) }
 
+func (t *tcpTransport) TryRecv() (Frame, bool) { return t.in.tryGet() }
+
+func (t *tcpTransport) Recycle(buf []byte) { t.in.recycle(buf) }
+
+// Drops returns the count of observably lost inbound frames (see the field
+// doc). Monotonic; readable after Close.
+func (t *tcpTransport) Drops() uint64 { return t.drops.Load() }
+
+// Close never blocks on a peer lock, so a send stalled in a slow dial or a
+// saturated write cannot delay shutdown: it closes the listener and every
+// registered connection (unblocking those writers with an error), waits
+// for the read loops, then closes the inbox so receivers drain and exit.
+// A dial still in flight re-checks closed before installing its conn.
 func (t *tcpTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -307,16 +415,16 @@ func (t *tcpTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	close(t.done)
 	err := t.ln.Close()
-	for _, tc := range t.conns {
-		tc.c.Close()
+	for _, c := range t.dialed {
+		c.Close()
 	}
 	for c := range t.accepted {
 		c.Close()
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
+	t.in.close()
 	return err
 }
 
@@ -350,7 +458,7 @@ func NewTCPNet(n int) (*TCPNet, error) {
 		p.addrs[i] = ln.Addr().String()
 	}
 	for i, ln := range lns {
-		p.cores[i] = newTCPCore(node.ID(i), p.addrs, ln, nil)
+		p.cores[i] = newTCPCore(node.ID(i), p.addrs, ln, nil, nil)
 	}
 	return p, nil
 }
@@ -366,10 +474,23 @@ func (p *TCPNet) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &tcpEndpoint{core: p.cores[id], auth: a}
 }
 
-// Recv exposes node id's inbound frame channel — shared by every epoch's
-// view — so a session can drain frames addressed to idle or crashed slots
-// between runs.
-func (p *TCPNet) Recv(id node.ID) <-chan Frame { return p.cores[id].in }
+// Recv receives the next frame addressed to node id — the core inbox is
+// shared by every epoch's view — so a session can drain frames addressed
+// to idle or crashed slots between runs. Semantics match Transport.Recv.
+func (p *TCPNet) Recv(id node.ID, stop <-chan struct{}) (Frame, bool) {
+	return p.cores[id].in.get(stop)
+}
+
+// Drops sums the cores' observable frame-drop counters (mid-frame read
+// failures, oversized frames, shutdown races). Sessions snapshot it around
+// each trial to surface transport loss in the trial's stats.
+func (p *TCPNet) Drops() uint64 {
+	var total uint64
+	for _, c := range p.cores {
+		total += c.Drops()
+	}
+	return total
+}
 
 // Close tears the whole fabric down: listeners, connections, read loops.
 func (p *TCPNet) Close() error {
@@ -389,18 +510,22 @@ type tcpEndpoint struct {
 }
 
 var _ Transport = (*tcpEndpoint)(nil)
+var _ Recycler = (*tcpEndpoint)(nil)
 
 // Send implements Transport, sealing with the epoch's authenticator.
 func (e *tcpEndpoint) Send(to node.ID, frame []byte) error {
-	if int(to) < 0 || int(to) >= len(e.core.addrs) {
-		return fmt.Errorf("runtime: bad destination %v", to)
-	}
-	return e.core.sendSealed(to, e.auth.Seal(to, frame))
+	return e.core.sendFrame(to, e.auth, frame)
 }
 
-// Recv implements Transport; the channel is the core's and outlives the
+// Recv implements Transport; the inbox is the core's and outlives the
 // epoch.
-func (e *tcpEndpoint) Recv() <-chan Frame { return e.core.in }
+func (e *tcpEndpoint) Recv(stop <-chan struct{}) (Frame, bool) { return e.core.in.get(stop) }
+
+// TryRecv implements Transport.
+func (e *tcpEndpoint) TryRecv() (Frame, bool) { return e.core.in.tryGet() }
+
+// Recycle implements Recycler on the core's shared buffer pool.
+func (e *tcpEndpoint) Recycle(buf []byte) { e.core.in.recycle(buf) }
 
 // Close implements Transport as a no-op: the owning TCPNet closes cores.
 func (e *tcpEndpoint) Close() error { return nil }

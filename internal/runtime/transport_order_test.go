@@ -1,0 +1,352 @@
+package runtime_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+	"delphi/internal/runtime"
+)
+
+// seqFrame encodes (sender, seq) as a tiny frame with a fake type byte.
+func seqFrame(sender, seq int) []byte {
+	return []byte{0x7E, byte(sender), byte(seq), byte(seq >> 8)}
+}
+
+// checkSeqOrder asserts frames from each sender arrive in strictly
+// ascending seq order, exactly once each.
+type seqChecker struct {
+	next map[int]int
+}
+
+func (c *seqChecker) observe(t *testing.T, a *auth.Auth, f runtime.Frame) {
+	t.Helper()
+	body, err := a.Open(f.From, f.Data)
+	if err != nil {
+		t.Fatalf("frame from %v fails authentication: %v", f.From, err)
+	}
+	sender, seq := int(body[1]), int(body[2])|int(body[3])<<8
+	if node.ID(sender) != f.From {
+		t.Fatalf("frame claims sender %d, authenticated as %v", sender, f.From)
+	}
+	if want := c.next[sender]; seq != want {
+		t.Fatalf("sender %d: got seq %d, want %d — per-link FIFO broken", sender, seq, want)
+	}
+	c.next[sender]++
+}
+
+// TestHubPerLinkFIFO is the overflow-ordering regression test: two senders
+// burst far past the receiver's initial inbox capacity before a single
+// frame is drained. The old hub parked overflow sends on goroutines that
+// could be overtaken by later fast-path sends (and by each other); the ring
+// inbox must deliver every sender's frames in exact send order.
+func TestHubPerLinkFIFO(t *testing.T) {
+	const n, perSender = 3, 600 // 600 >> initial ring capacity (4n+64)
+	master := []byte("hub-fifo-master")
+	hub := runtime.NewHub(n)
+	defer hub.Close()
+	auths := make([]*auth.Auth, n)
+	trs := make([]runtime.Transport, n)
+	for i := range auths {
+		a, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = a
+		trs[i] = hub.Endpoint(node.ID(i), a)
+	}
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for seq := 0; seq < perSender; seq++ {
+				if err := trs[sender].Send(0, seqFrame(sender, seq)); err != nil {
+					t.Errorf("sender %d seq %d: %v", sender, seq, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait() // entire burst is buffered before the first receive
+
+	chk := &seqChecker{next: map[int]int{}}
+	for got := 0; got < (n-1)*perSender; got++ {
+		f, ok := trs[0].TryRecv()
+		if !ok {
+			t.Fatalf("inbox dry after %d frames — the burst was dropped", got)
+		}
+		chk.observe(t, auths[0], f)
+	}
+	if hub.Drops() != 0 {
+		t.Errorf("clean run counted %d drops", hub.Drops())
+	}
+}
+
+// TestTCPPerLinkFIFO asserts the same contract over the TCP transport:
+// concurrent senders each see their own frames delivered in send order.
+func TestTCPPerLinkFIFO(t *testing.T) {
+	const n, perSender = 3, 400
+	master := []byte("tcp-fifo-master")
+	auths := make([]*auth.Auth, n)
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		a, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = a
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]runtime.Transport, n)
+	for i := range trs {
+		trs[i] = runtime.NewTCP(node.ID(i), addrs, lns[i], auths[i])
+		defer trs[i].Close()
+	}
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for seq := 0; seq < perSender; seq++ {
+				if err := trs[sender].Send(0, seqFrame(sender, seq)); err != nil {
+					t.Errorf("sender %d seq %d: %v", sender, seq, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	chk := &seqChecker{next: map[int]int{}}
+	for got := 0; got < (n-1)*perSender; got++ {
+		f, ok := recvFrame(t, trs[0], 5*time.Second)
+		if !ok {
+			t.Fatalf("receiver stalled after %d frames", got)
+		}
+		chk.observe(t, auths[0], f)
+	}
+}
+
+// TestHubDropCounterAfterClose pins the shutdown accounting: a send racing
+// a closed hub is discarded — correctly, the run is over — but counted.
+func TestHubDropCounterAfterClose(t *testing.T) {
+	hub := runtime.NewHub(2)
+	a0, err := auth.New(0, 2, []byte("drop-master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := hub.Endpoint(0, a0)
+	hub.Close()
+	if err := tr.Send(1, seqFrame(0, 0)); err != nil {
+		t.Fatalf("post-close send errored instead of drop-counting: %v", err)
+	}
+	if got := hub.Drops(); got != 1 {
+		t.Errorf("Drops() = %d after one post-close send, want 1", got)
+	}
+}
+
+// TestTCPDialStall is the dial-outside-the-lock regression test: with one
+// peer blackholed (its dial never completes), sends to healthy peers and
+// Close must both proceed promptly. The old transport held the
+// transport-wide mutex across net.Dial, so one unreachable peer stalled
+// everything for the dial timeout.
+func TestTCPDialStall(t *testing.T) {
+	const n = 3 // 0 = sender under test, 1 = healthy, 2 = blackholed
+	master := []byte("stall-master")
+	auths := make([]*auth.Auth, n)
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 2)
+	for i := 0; i < n; i++ {
+		a, err := auth.New(node.ID(i), n, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = a
+	}
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	addrs[2] = "blackhole.invalid:1" // never actually dialed: intercepted below
+
+	release := make(chan struct{})
+	dial := func(addr string) (net.Conn, error) {
+		if addr == addrs[2] {
+			<-release // an unreachable peer: the dial just hangs
+			return nil, errors.New("blackholed")
+		}
+		return net.Dial("tcp", addr)
+	}
+	tr := runtime.NewTCPDial(0, addrs, lns[0], auths[0], dial)
+	trB := runtime.NewTCP(1, addrs, lns[1], auths[1])
+	defer trB.Close()
+
+	// Park a send inside the blackholed dial.
+	stalled := make(chan error, 1)
+	go func() { stalled <- tr.Send(2, seqFrame(0, 0)) }()
+	time.Sleep(50 * time.Millisecond) // let it reach the dial
+
+	// A healthy send must not wait for the stalled dial.
+	start := time.Now()
+	if err := tr.Send(1, seqFrame(0, 1)); err != nil {
+		t.Fatalf("healthy send failed during a stalled dial: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("healthy send took %v behind a stalled dial", d)
+	}
+	if f, ok := recvFrame(t, trB, 5*time.Second); !ok || f.From != 0 {
+		t.Fatal("healthy peer never received the frame")
+	}
+
+	// Close must not wait for the stalled dial either.
+	start = time.Now()
+	if err := tr.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("Close took %v behind a stalled dial", d)
+	}
+
+	// Let the dial return; the parked send must come back with an error
+	// (the transport it would deliver through is gone).
+	close(release)
+	select {
+	case err := <-stalled:
+		if err == nil {
+			t.Error("send through a blackholed peer reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled send never returned after Close + dial release")
+	}
+}
+
+// TestTCPDialInstallRace pins the close-vs-dial race: a dial that completes
+// after Close must not install its connection (Close cannot see it), and
+// the connection must be closed, not leaked.
+func TestTCPDialInstallRace(t *testing.T) {
+	master := []byte("race-master")
+	auths := make([]*auth.Auth, 2)
+	for i := range auths {
+		a, err := auth.New(node.ID(i), 2, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths[i] = a
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "peer.invalid:1"}
+
+	release := make(chan struct{})
+	var pipeOurs, pipeTheirs net.Conn
+	dial := func(string) (net.Conn, error) {
+		<-release
+		pipeOurs, pipeTheirs = net.Pipe()
+		return pipeOurs, nil
+	}
+	tr := runtime.NewTCPDial(0, addrs, ln, auths[0], dial)
+
+	sent := make(chan error, 1)
+	go func() { sent <- tr.Send(1, seqFrame(0, 0)) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(release) // dial now returns a live pipe — too late
+	if err := <-sent; err == nil {
+		t.Error("send whose dial lost the race to Close reported success")
+	}
+	// The losing dial's conn must have been closed: its peer end sees EOF.
+	pipeTheirs.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := pipeTheirs.Read(buf); err == nil {
+		t.Error("conn dialed after Close was installed (peer still readable)")
+	}
+}
+
+// TestTCPDropCounter pins the silent-discard fix: frames lost mid-body and
+// oversized frames increment the transport's drop counter instead of
+// vanishing. Header-level read failures (normal shutdown) must NOT count.
+func TestTCPDropCounter(t *testing.T) {
+	a0, err := auth.New(0, 2, []byte("dropcount-master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "peer.invalid:1"}
+	tr := runtime.NewTCP(0, addrs, ln, a0)
+	defer tr.Close()
+	counter, ok := tr.(interface{ Drops() uint64 })
+	if !ok {
+		t.Fatal("tcp transport does not expose Drops()")
+	}
+
+	waitDrops := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for counter.Drops() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("Drops() = %d, want %d", counter.Drops(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	rawConn := func() net.Conn {
+		c, err := net.Dial("tcp", addrs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	header := func(sender, length uint32) []byte {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], sender)
+		binary.LittleEndian.PutUint32(hdr[4:], length)
+		return hdr[:]
+	}
+
+	// Clean connect/disconnect between frames: no drop.
+	c := rawConn()
+	c.Close()
+	time.Sleep(50 * time.Millisecond)
+	if got := counter.Drops(); got != 0 {
+		t.Fatalf("clean disconnect counted %d drops", got)
+	}
+
+	// Header promised 100 bytes; the body dies after 10: one drop.
+	c = rawConn()
+	c.Write(header(1, 100))
+	c.Write(make([]byte, 10))
+	c.Close()
+	waitDrops(1)
+
+	// Oversized frame: one more drop, connection dropped.
+	c = rawConn()
+	c.Write(header(1, 65<<20))
+	waitDrops(2)
+	c.Close()
+}

@@ -43,12 +43,10 @@ func tcpPair(t *testing.T, master []byte) (a, b runtime.Transport, addrs []strin
 // recvFrame drains one frame with a deadline.
 func recvFrame(t *testing.T, tr runtime.Transport, timeout time.Duration) (runtime.Frame, bool) {
 	t.Helper()
-	select {
-	case f, ok := <-tr.Recv():
-		return f, ok
-	case <-time.After(timeout):
-		return runtime.Frame{}, false
-	}
+	stop := make(chan struct{})
+	tm := time.AfterFunc(timeout, func() { close(stop) })
+	defer tm.Stop()
+	return tr.Recv(stop)
 }
 
 // TestTCPReconnectAfterPeerRestart pins the transport's fault recovery: a
@@ -123,7 +121,10 @@ func TestTCPCloseDuringInflightSend(t *testing.T) {
 
 	// Drain the receiver so senders never block on a full TCP window.
 	go func() {
-		for range trB.Recv() {
+		for {
+			if _, ok := trB.Recv(nil); !ok {
+				return
+			}
 		}
 	}()
 

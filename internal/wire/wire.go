@@ -54,6 +54,12 @@ const (
 	TypeTestPing
 )
 
+// TypeBatch is reserved for the live transports' multi-frame batch
+// envelope (runtime.BatchType): a frame starting with this byte is a
+// container of frames, not a protocol message, and the registry refuses to
+// let a decoder claim it.
+const TypeBatch uint8 = 0xFF
+
 // ErrTruncated reports a message body shorter than its encoding requires.
 var ErrTruncated = errors.New("wire: truncated message")
 
@@ -269,6 +275,9 @@ func NewRegistry() *Registry { return &Registry{} }
 // Register installs a decoder for wire type t. Registering the same type
 // twice is a programming error and returns an error.
 func (g *Registry) Register(t uint8, d Decoder) error {
+	if t == TypeBatch {
+		return fmt.Errorf("wire: type %d is reserved for transport batch envelopes", t)
+	}
 	if g.decoders[t] != nil {
 		return fmt.Errorf("wire: type %d already registered", t)
 	}

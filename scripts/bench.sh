@@ -2,19 +2,23 @@
 # Machine-readable performance trajectory for the Delphi reproduction.
 #
 # Runs the pinned regression benchmarks — BenchmarkSimCore (simulator core:
-# ns/event and allocs/event per size × adversary) and BenchmarkTCPCellSetup
-# (per-trial tcp setup cost: persistent session vs per-trial binds/dials) —
-# and writes the numbers to BENCH_5.json so perf regressions are diffable
-# across PRs.
+# ns/event and allocs/event per size × adversary), BenchmarkTCPCellSetup
+# (per-trial tcp setup cost: persistent session vs per-trial binds/dials),
+# and BenchmarkTCPFrameThroughput (live/tcp frame hot path: frames/sec with
+# per-step batching vs one-write-per-message, measured as paired alternating
+# trials so host drift cannot bias either lane) — and writes the numbers to
+# BENCH_6.json so perf regressions are diffable across PRs.
 #
 # Usage: scripts/bench.sh [output.json]
-#   SIM_BENCHTIME (default 1s) and TCP_BENCHTIME (default 5x) tune runtime.
+#   SIM_BENCHTIME (default 1s), TCP_BENCHTIME (default 5x), and
+#   FRAME_BENCHTIME (default 6x) tune runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 sim_benchtime="${SIM_BENCHTIME:-1s}"
 tcp_benchtime="${TCP_BENCHTIME:-5x}"
+frame_benchtime="${FRAME_BENCHTIME:-6x}"
 
 echo "== BenchmarkSimCore (${sim_benchtime}) =="
 sim_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimCore \
@@ -26,9 +30,14 @@ tcp_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPCellSetup \
     -benchtime "$tcp_benchtime" -count=1 -timeout 900s 2>/dev/null)
 echo "$tcp_out" | grep -E "BenchmarkTCPCellSetup|ms/trial" | grep -v "^2[0-9]"
 
+echo "== BenchmarkTCPFrameThroughput (${frame_benchtime}) =="
+frame_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPFrameThroughput \
+    -benchtime "$frame_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$frame_out" | grep BenchmarkTCPFrameThroughput
+
 {
     printf '{\n'
-    printf '  "issue": 5,\n'
+    printf '  "issue": 6,\n'
     printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "host": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
@@ -86,8 +95,33 @@ echo "$tcp_out" | grep -E "BenchmarkTCPCellSetup|ms/trial" | grep -v "^2[0-9]"
             if (vals["session"] > 0) printf "%.2f", vals["per-trial"] / vals["session"]
             else printf "null"
         }')
-    printf '  "tcp_session_speedup": %s\n' "$speedup"
+    printf '  "tcp_session_speedup": %s,\n' "$speedup"
+
+    # Frame hot path: both lanes and their ratio come out of one paired
+    # benchmark (alternating trials), so the three numbers are consistent
+    # by construction.
+    echo "$frame_out" | awk '
+        /^BenchmarkTCPFrameThroughput/ {
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "batched_fps") bat = $i
+                if ($(i+1) == "unbatched_fps") unb = $i
+                if ($(i+1) == "batch_speedup") spd = $i
+            }
+        }
+        END {
+            printf "  \"tcp_frames\": {\"batched_fps\": %s, \"unbatched_fps\": %s},\n", bat, unb
+            printf "  \"tcp_batch_speedup\": %s\n", spd
+        }'
     printf '}\n'
 } > "$out"
 
 echo "wrote $out"
+
+# The batching speedup is the frame hot path's acceptance bar: fail loudly
+# if batched sends ever regress to near-unbatched throughput.
+speedup=$(awk -F': ' '/"tcp_batch_speedup"/ {gsub(/[ ,]/, "", $2); print $2}' "$out")
+awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
+    echo "FAIL: tcp_batch_speedup $speedup < 1.5" >&2
+    exit 1
+}
+echo "tcp_batch_speedup $speedup >= 1.5"

@@ -72,6 +72,20 @@ echo "== backend smoke =="
 go run ./cmd/experiments -scale quick -seed 1 -run backends > /dev/null
 go run ./cmd/experiments -scale quick -seed 1 -backend live -run matrix > /dev/null
 
+# The live/tcp frame hot path batches per-step sends into sealed envelopes;
+# the gates below run explicitly so a trimmed test invocation above can
+# never silently drop them: per-link FIFO under overflow bursts and the
+# dial-stall/close races (under -race — these are ordering and locking
+# bugs), and the batched-vs-unbatched equivalence check (the batching knob
+# must not move the simulator by a bit, and batched and unbatched live
+# runs must agree inside the cross-backend δ window with zero transport
+# drops).
+echo "== transport batching gate =="
+go test ./internal/runtime -race -count=1 \
+    -run 'TestHubPerLinkFIFO|TestTCPPerLinkFIFO|TestTCPDialStall|TestTCPDialInstallRace|TestTCPDropCounter'
+go test ./internal/backend -count=1 ${short_flag:+"$short_flag"} \
+    -run 'TestBatchingLiveAgreement|TestBatchingTCPAgreement|TestSessionTransportDrops'
+
 # Persistent-session smoke: a 3-trial tcp cell through the engine, reusing
 # one loopback cluster (listeners + connections) across the trials. The
 # target fails on any agreement violation. Stale-frame drops are the
