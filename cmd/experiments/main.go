@@ -6,8 +6,10 @@
 //
 //	experiments [-scale quick|paper] [-seed N] [-workers K] [-run T1,T2]
 //	            [-backend sim|live|tcp] [-sessions=false]
+//	            [-service-rounds N] [-service-rate R] [-service-window W]
+//	            [-service-queue Q] [-service-duration D] [-service-arrivals poisson|bursty]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
-//	             validity tail matrix adversary backends sessions
+//	             validity tail matrix adversary backends sessions service
 //	             ablations | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
@@ -31,6 +33,16 @@
 // that cell's trials. -sessions=false forces per-trial setup; results are
 // identical either way. The sessions target smoke-runs a 3-trial tcp cell
 // through a session.
+//
+// The service target runs the continuous-service oracle mode: an open-loop
+// arrival process of agreement rounds (-service-rate rounds/s,
+// -service-arrivals poisson or bursty) over one persistent substrate, a
+// bounded window of concurrent in-flight rounds (-service-window) with a
+// bounded waiting queue (-service-queue; overflow is shed), fanning decided
+// rounds out to a modeled million-client subscriber population. On the sim
+// backend the report is deterministic (byte-identical across reruns and
+// worker counts); on live/tcp it is a real wall-clock soak, optionally
+// capped by -service-duration.
 package main
 
 import (
@@ -45,8 +57,21 @@ import (
 
 	"delphi/internal/bench"
 	"delphi/internal/core"
+	"delphi/internal/dist"
+	"delphi/internal/feeds"
 	"delphi/internal/sim"
 )
+
+// svcFlags carries the service target's knobs from flag parsing to
+// dispatch; the initialisers are the flag defaults.
+var svcFlags = struct {
+	rounds   int
+	rate     float64
+	window   int
+	queue    int
+	duration time.Duration
+	arrivals string
+}{rounds: 200, rate: 100, window: 4, queue: 16, arrivals: "poisson"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -63,6 +88,12 @@ func run(args []string) error {
 	runFlag := fs.String("run", "", "comma-separated targets to run (adds to positional targets)")
 	backendFlag := fs.String("backend", "sim", "execution backend for the workloads: sim, live, or tcp")
 	sessions := fs.Bool("sessions", true, "reuse backend substrates (listeners, hubs, sim storage) across a cell's trials")
+	fs.IntVar(&svcFlags.rounds, "service-rounds", svcFlags.rounds, "service target: arrivals to generate")
+	fs.Float64Var(&svcFlags.rate, "service-rate", svcFlags.rate, "service target: arrival rate, rounds per second")
+	fs.IntVar(&svcFlags.window, "service-window", svcFlags.window, "service target: max concurrent in-flight rounds")
+	fs.IntVar(&svcFlags.queue, "service-queue", svcFlags.queue, "service target: waiting-room bound; overflow is shed")
+	fs.DurationVar(&svcFlags.duration, "service-duration", svcFlags.duration, "service target: wall-clock cap on a live run (0 = none)")
+	fs.StringVar(&svcFlags.arrivals, "service-arrivals", svcFlags.arrivals, "service target: interarrival law, poisson or bursty")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +123,7 @@ func run(args []string) error {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
-			"matrix", "adversary", "backends", "sessions", "ablations"}
+			"matrix", "adversary", "backends", "sessions", "service", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -192,10 +223,12 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return runBackends(scale, seed)
 	case "sessions":
 		return runSessions(scale, seed)
+	case "service":
+		return runService(scale, seed)
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, ablations)")
 	}
 }
 
@@ -297,6 +330,50 @@ func runSessions(scale bench.Scale, seed int64) (string, error) {
 		return b.String(), fmt.Errorf("session smoke: agreement violated (spread %g > ε=%g)", agg.Spread.Max(), spec.Delphi.Eps)
 	}
 	return b.String(), nil
+}
+
+// runService drives the continuous-service oracle mode on whatever backend
+// -backend selected (the sim model is deterministic; live/tcp are wall-clock
+// soaks) and renders the service report: round accounting, backpressure
+// high-water marks, latency split, throughput, and subscriber staleness.
+func runService(scale bench.Scale, seed int64) (string, error) {
+	n := 8
+	if scale != bench.Quick {
+		n = 16
+	}
+	cfg := bench.ServiceConfig{
+		Scenario: bench.Scenario{
+			Name:     "service",
+			Protocol: bench.ProtoDelphi,
+			N:        n,
+			Env:      sim.AWS(),
+			Params:   core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2},
+			Center:   41000,
+			Delta:    20,
+		},
+		Rounds:   svcFlags.rounds,
+		Rate:     svcFlags.rate,
+		Window:   svcFlags.window,
+		Queue:    svcFlags.queue,
+		Duration: svcFlags.duration,
+		Subscribers: feeds.Population{
+			Size: 1_000_000, Seed: seed, Base: 5 * time.Millisecond,
+			Jitter: dist.Lognormal{Mu: 2, Sigma: 0.5},
+		},
+		Representatives: 8,
+	}
+	switch svcFlags.arrivals {
+	case "", "poisson":
+	case "bursty":
+		cfg.Arrivals = bench.ArrivalBursty
+	default:
+		return "", fmt.Errorf("unknown arrival law %q (want poisson or bursty)", svcFlags.arrivals)
+	}
+	rep, err := bench.DefaultEngine().RunService(cfg, seed)
+	if err != nil {
+		return "", err
+	}
+	return rep.Text(), nil
 }
 
 // runMatrix demonstrates the scenario matrix: Delphi across both testbeds,

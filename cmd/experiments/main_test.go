@@ -129,6 +129,41 @@ func TestAdversaryTargetDeterministic(t *testing.T) {
 	}
 }
 
+// TestServiceTarget drives `-run service` end to end on the sim backend:
+// the deterministic service model must render its full report, and reruns
+// at different worker counts must render it byte-identically.
+func TestServiceTarget(t *testing.T) {
+	t.Cleanup(func() { bench.SetDefaultWorkers(0) })
+	bench.SetDefaultWorkers(1)
+	first, err := runTarget("service", bench.Quick, 1)
+	if err != nil {
+		t.Fatalf("service target: %v", err)
+	}
+	for _, want := range []string{"service backend=sim", "rounds:", "occupancy:",
+		"throughput:", "latency ms:", "staleness ms:"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("service output lacks %q:\n%s", want, first)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		bench.SetDefaultWorkers(workers)
+		again, err := runTarget("service", bench.Quick, 1)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if again != first {
+			t.Errorf("workers=%d: service report differs from sequential run:\n%s\nvs\n%s",
+				workers, again, first)
+		}
+	}
+	// The service flags reach the config: a bad arrival law is rejected.
+	svcFlags.arrivals = "fractal"
+	t.Cleanup(func() { svcFlags.arrivals = "poisson" })
+	if _, err := runTarget("service", bench.Quick, 1); err == nil {
+		t.Error("bad -service-arrivals: want error")
+	}
+}
+
 // TestRunFlagSelectsTargets pins the -run flag: flag targets compose with
 // positional ones (both must run) and junk is rejected.
 func TestRunFlagSelectsTargets(t *testing.T) {

@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 
 	"delphi/internal/node"
 )
@@ -20,10 +22,27 @@ const MACSize = sha256.Size
 // ErrBadMAC reports a frame whose MAC failed verification.
 var ErrBadMAC = errors.New("auth: MAC verification failed")
 
+// peerState caches one channel's keyed HMAC machinery. Keying an HMAC costs
+// two SHA-256 block compressions (ipad and opad) plus two allocations —
+// after frame batching that key schedule dominated seal/open cost, since it
+// was paid on every call. The cached hash is keyed once and Reset between
+// uses; the standard library restores the precomputed ipad/opad states on
+// Reset instead of re-deriving them. sum is the verify-side scratch, so
+// Open never allocates either. The mutex makes each channel safe under
+// concurrent sealers (a delay wrapper's timer goroutines can seal alongside
+// the driver); distinct peers never contend.
+type peerState struct {
+	mu  sync.Mutex
+	h   hash.Hash
+	sum [MACSize]byte
+	snd [8]byte // sender-id prefix scratch; a stack buffer would escape through the hash.Hash interface
+}
+
 // Auth holds one node's pairwise channel keys.
 type Auth struct {
-	self node.ID
-	keys [][]byte
+	self  node.ID
+	keys  [][]byte
+	peers []peerState
 }
 
 // New derives pairwise keys for node self in an n-node system from a master
@@ -37,13 +56,14 @@ func New(self node.ID, n int, master []byte) (*Auth, error) {
 	if len(master) == 0 {
 		return nil, errors.New("auth: empty master secret")
 	}
-	a := &Auth{self: self, keys: make([][]byte, n)}
+	a := &Auth{self: self, keys: make([][]byte, n), peers: make([]peerState, n)}
+	mac := hmac.New(sha256.New, master)
 	for peer := 0; peer < n; peer++ {
 		lo, hi := int(self), peer
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		mac := hmac.New(sha256.New, master)
+		mac.Reset()
 		var buf [16]byte
 		binary.LittleEndian.PutUint64(buf[0:], uint64(lo))
 		binary.LittleEndian.PutUint64(buf[8:], uint64(hi))
@@ -77,7 +97,7 @@ func (a *Auth) Open(peer node.ID, sealed []byte) ([]byte, error) {
 	}
 	frame := sealed[:len(sealed)-MACSize]
 	tag := sealed[len(sealed)-MACSize:]
-	if !hmac.Equal(tag, a.tag(peer, peer, frame)) {
+	if !a.check(peer, peer, frame, tag) {
 		return nil, ErrBadMAC
 	}
 	return frame, nil
@@ -93,10 +113,38 @@ func (a *Auth) appendTag(peer, sender node.ID, dst, frame []byte) []byte {
 	if int(peer) < 0 || int(peer) >= len(a.keys) {
 		return append(dst, make([]byte, MACSize)...)
 	}
-	mac := hmac.New(sha256.New, a.keys[peer])
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(sender))
-	mac.Write(buf[:])
-	mac.Write(frame)
-	return mac.Sum(dst)
+	ps := &a.peers[peer]
+	ps.mu.Lock()
+	dst = ps.sumInto(a.keys[peer], sender, dst, frame)
+	ps.mu.Unlock()
+	return dst
+}
+
+// check reports whether tag is the MAC of sender || frame on the peer
+// channel, comparing in constant time. The reference MAC lands in the
+// channel's scratch, so verification is allocation-free.
+func (a *Auth) check(peer, sender node.ID, frame, tag []byte) bool {
+	if int(peer) < 0 || int(peer) >= len(a.keys) {
+		return false
+	}
+	ps := &a.peers[peer]
+	ps.mu.Lock()
+	want := ps.sumInto(a.keys[peer], sender, ps.sum[:0], frame)
+	ok := hmac.Equal(tag, want)
+	ps.mu.Unlock()
+	return ok
+}
+
+// sumInto appends HMAC(key, sender || frame) to dst using the channel's
+// cached keyed state. Caller holds ps.mu.
+func (ps *peerState) sumInto(key []byte, sender node.ID, dst, frame []byte) []byte {
+	if ps.h == nil {
+		ps.h = hmac.New(sha256.New, key)
+	} else {
+		ps.h.Reset()
+	}
+	binary.LittleEndian.PutUint64(ps.snd[:], uint64(sender))
+	ps.h.Write(ps.snd[:])
+	ps.h.Write(frame)
+	return ps.h.Sum(dst)
 }

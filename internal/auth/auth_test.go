@@ -2,6 +2,10 @@ package auth_test
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -116,5 +120,125 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := auth.New(0, 3, nil); err == nil {
 		t.Error("empty master accepted")
+	}
+}
+
+// TestSealMatchesDirectHMAC pins the wire format against a from-scratch
+// HMAC computation: the cached per-peer states are an optimisation and must
+// never change a single MAC byte (epoch keys rely on exact MAC semantics).
+func TestSealMatchesDirectHMAC(t *testing.T) {
+	const n = 4
+	master := []byte("direct-hmac-master")
+	a0, err := auth.New(0, n, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-derive the 0<->2 channel key exactly as New documents it.
+	kdf := hmac.New(sha256.New, master)
+	var pair [16]byte
+	binary.LittleEndian.PutUint64(pair[0:], 0)
+	binary.LittleEndian.PutUint64(pair[8:], 2)
+	kdf.Write(pair[:])
+	key := kdf.Sum(nil)
+
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("frame"), 100)}
+	for _, payload := range payloads {
+		sealed := a0.Seal(2, payload)
+		mac := hmac.New(sha256.New, key)
+		var sender [8]byte
+		binary.LittleEndian.PutUint64(sender[:], 0)
+		mac.Write(sender[:])
+		mac.Write(payload)
+		want := mac.Sum(nil)
+		if !bytes.Equal(sealed[len(payload):], want) {
+			t.Fatalf("payload %q: sealed MAC diverges from direct HMAC", payload)
+		}
+	}
+}
+
+// TestSealOpenZeroAlloc is the satellite's alloc regression: with per-peer
+// keyed states cached, sealing into a warm scratch and verifying a frame
+// must both be allocation-free — the per-call hmac.New key schedule was the
+// dominant seal/open cost after frame batching.
+func TestSealOpenZeroAlloc(t *testing.T) {
+	a, _ := auth.New(0, 4, []byte("alloc-master"))
+	b, _ := auth.New(1, 4, []byte("alloc-master"))
+	payload := bytes.Repeat([]byte{0xab}, 200)
+	scratch := make([]byte, 0, len(payload)+auth.MACSize)
+	scratch = a.AppendSeal(1, scratch, payload) // warm the cached states
+	if _, err := b.Open(0, scratch); err != nil {
+		t.Fatal(err)
+	}
+	sealAllocs := testing.AllocsPerRun(100, func() {
+		scratch = a.AppendSeal(1, scratch[:0], payload)
+	})
+	if sealAllocs != 0 {
+		t.Errorf("AppendSeal allocates %.1f objects/op, want 0", sealAllocs)
+	}
+	openAllocs := testing.AllocsPerRun(100, func() {
+		if _, err := b.Open(0, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if openAllocs != 0 {
+		t.Errorf("Open allocates %.1f objects/op, want 0", openAllocs)
+	}
+}
+
+// TestAuthConcurrentUse exercises the per-peer locks: an adversary delay
+// wrapper's timer goroutines seal alongside the driver, on overlapping
+// peers, while the driver verifies inbound frames with the same Auth.
+func TestAuthConcurrentUse(t *testing.T) {
+	const n = 4
+	master := []byte("concurrent-master")
+	as := make([]*auth.Auth, n)
+	for i := range as {
+		as[i], _ = auth.New(node.ID(i), n, master)
+	}
+	payload := []byte("concurrent frame payload")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := g % n
+			to := (g + 1) % n
+			for i := 0; i < 500; i++ {
+				sealed := as[from].Seal(node.ID(to), payload)
+				if got, err := as[to].Open(node.ID(from), sealed); err != nil || !bytes.Equal(got, payload) {
+					t.Errorf("goroutine %d iter %d: seal/open corrupted under concurrency", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkAppendSeal measures the transports' steady-state sealing path
+// (warm scratch, cached keyed HMAC state).
+func BenchmarkAppendSeal(b *testing.B) {
+	a, _ := auth.New(0, 16, []byte("bench-master"))
+	payload := bytes.Repeat([]byte{0x5a}, 256)
+	scratch := make([]byte, 0, len(payload)+auth.MACSize)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		scratch = a.AppendSeal(1, scratch[:0], payload)
+	}
+}
+
+// BenchmarkOpen measures the receive-side verification path.
+func BenchmarkOpen(b *testing.B) {
+	a0, _ := auth.New(0, 16, []byte("bench-master"))
+	a1, _ := auth.New(1, 16, []byte("bench-master"))
+	payload := bytes.Repeat([]byte{0x5a}, 256)
+	sealed := a0.Seal(1, payload)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := a1.Open(0, sealed); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

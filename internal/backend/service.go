@@ -1,0 +1,190 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delphi/internal/auth"
+	"delphi/internal/bench"
+	"delphi/internal/node"
+	"delphi/internal/runtime"
+)
+
+// This file is the live half of the continuous-service mode (bench.Service):
+// a serviceSession runs many agreement rounds CONCURRENTLY over one
+// persistent fabric. Where clusterSession serialises trials (one epoch at a
+// time, drainers between), the service session multiplexes instances:
+//
+//   - every round gets a unique 8-byte tag and sends through the fabric's
+//     tagged endpoints, which append the tag after the sealed frame;
+//   - one runtime.InstanceMux owns the fabric's inboxes for the session's
+//     whole life, routing inbound frames to the owning round by tag and
+//     counting orphans (stragglers of decided rounds) as stale;
+//   - every round seals with its own master key (the tag is part of it), so
+//     a frame relabeled onto another live round's tag fails that round's MAC
+//     and is dropped by the driver — tag routing is never trusted for
+//     authenticity;
+//   - a decided round's instance is collected immediately (MuxInstance.Close
+//     reclaims its inboxes into the fabric pool), so a service holding a
+//     bounded window of rounds in flight holds bounded buffers, however many
+//     rounds it has served.
+type serviceSession struct {
+	kind    bench.BackendKind
+	n       int
+	timeout time.Duration
+	fab     svcFabric
+	mux     *runtime.InstanceMux
+	tags    atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ bench.ServiceRunner = (*serviceSession)(nil)
+
+// svcFabric is the persistent substrate under a service session: the
+// clusterSession fabric plus tagged sending and mux attachment.
+type svcFabric interface {
+	fabric
+	tagged(id node.ID, a *auth.Auth, tag uint64) runtime.Transport
+	muxFab() runtime.MuxFabric
+}
+
+func (f hubFabric) tagged(id node.ID, a *auth.Auth, tag uint64) runtime.Transport {
+	return f.hub.TaggedEndpoint(id, a, tag)
+}
+func (f hubFabric) muxFab() runtime.MuxFabric { return f.hub }
+
+func (f tcpFabric) tagged(id node.ID, a *auth.Auth, tag uint64) runtime.Transport {
+	return f.net.TaggedEndpoint(id, a, tag)
+}
+func (f tcpFabric) muxFab() runtime.MuxFabric { return f.net }
+
+// newServiceSession attaches a mux to the fabric; from here on the mux's
+// readers are the fabric's only consumers (the session never starts
+// drainers — the mux drains every slot itself, routing or discarding).
+func newServiceSession(kind bench.BackendKind, n int, timeout time.Duration, fab svcFabric) *serviceSession {
+	return &serviceSession{
+		kind:    kind,
+		n:       n,
+		timeout: timeout,
+		fab:     fab,
+		mux:     runtime.NewInstanceMux(fab.muxFab()),
+	}
+}
+
+// RunRound implements bench.ServiceRunner. Safe for concurrent calls: each
+// round is an isolated instance — own tag, own master key, own per-slot
+// inboxes — sharing only the fabric's wire and buffer pool.
+func (s *serviceSession) RunRound(spec bench.RunSpec) (*bench.RunStats, error) {
+	if spec.N != s.n {
+		return nil, fmt.Errorf("backend: %s service for n=%d cannot run spec with n=%d", s.kind, s.n, spec.N)
+	}
+	sc, err := newTrialScaffold(spec, s.timeout)
+	if err != nil {
+		return nil, err
+	}
+	tag := s.tags.Add(1)
+	inst, err := s.mux.Register(tag)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %s service: %w", s.kind, err)
+	}
+	defer inst.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), sc.timeout)
+	defer cancel()
+
+	wrappers := make([]*advTransport, spec.N)
+	// The tag is part of the master key: concurrent rounds never share MACs,
+	// whatever their seeds, so cross-instance frames (relabeled or plain
+	// stragglers) die at the receiving driver's authenticator.
+	master := []byte(fmt.Sprintf("delphi-service-%s-%d-t%d", s.kind, spec.Seed, tag))
+	release := func() {
+		// Round teardown without touching the fabric: stop the delay
+		// wrappers' timers. Unlike clusterSession there are no drainers to
+		// resume — the mux's readers never stopped, so no sender can wedge
+		// on this round's exit.
+		for _, w := range wrappers {
+			if w != nil {
+				w.detach()
+			}
+		}
+	}
+	opts := []runtime.ClusterOption{
+		runtime.WithTransports(func(id node.ID, a *auth.Auth) (runtime.Transport, error) {
+			return inst.Endpoint(id, s.fab.tagged(id, a, tag)), nil
+		}),
+		runtime.WithTransportWrap(func(id node.ID, tr runtime.Transport) runtime.Transport {
+			w := sc.wrap(id, tr).(*advTransport)
+			wrappers[id] = w
+			return w
+		}),
+		runtime.WithWaitFor(sc.honest),
+		runtime.WithTransportRelease(release),
+		runtime.WithFrameBatching(true),
+	}
+	cfg := node.Config{N: spec.N, F: spec.F}
+	res, runErr := runtime.RunCluster(ctx, cfg, sc.procs, master, sc.reg, opts...)
+	// Flush the wrappers' in-flight delayed sends before collecting the
+	// instance; they cannot block (the mux drains every slot), and flushing
+	// first keeps the frames' fate deterministic in aggregate: routed to
+	// this instance and then discarded by its Close, either way accounted.
+	for _, w := range wrappers {
+		if w != nil {
+			w.wait()
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	r, err := clusterStats(spec, s.kind, res, sc.acct, ctx, sc.timeout)
+	if err != nil {
+		return nil, err
+	}
+	// TransportDrops stays zero per round: with concurrent rounds on one
+	// fabric a counter delta cannot be attributed to a round. The service
+	// reads the session-level total through Drops instead.
+	return r.Stats, nil
+}
+
+// StaleFrames implements bench.ServiceRunner: frames the mux discarded
+// because no live instance claimed them — the accounted stragglers of
+// decided rounds.
+func (s *serviceSession) StaleFrames() uint64 { return s.mux.Stale() }
+
+// Drops implements bench.ServiceRunner: the fabric's observable frame loss
+// since the session opened.
+func (s *serviceSession) Drops() uint64 { return s.fab.drops() }
+
+// Close implements bench.ServiceRunner. Idempotent. Rounds still in flight
+// lose their inboxes (their drivers see end-of-input and exit), so callers
+// should drain their window first for clean stats.
+func (s *serviceSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.mux.Close()
+	return s.fab.close()
+}
+
+func init() {
+	bench.MustRegisterServiceBackend(bench.BackendLive, func(spec bench.RunSpec, timeout time.Duration) (bench.ServiceRunner, error) {
+		return newServiceSession(bench.BackendLive, spec.N, timeout,
+			hubFabric{hub: runtime.NewHub(spec.N)}), nil
+	})
+	bench.MustRegisterServiceBackend(bench.BackendTCP, func(spec bench.RunSpec, timeout time.Duration) (bench.ServiceRunner, error) {
+		net, err := runtime.NewTCPNet(spec.N)
+		if err != nil {
+			return nil, err
+		}
+		return newServiceSession(bench.BackendTCP, spec.N, timeout,
+			tcpFabric{net: net}), nil
+	})
+}

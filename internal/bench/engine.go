@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -300,6 +301,32 @@ func (s *Stream) Max() float64 {
 		return math.NaN()
 	}
 	return s.max
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1, linear interpolation) of
+// the retained samples; NaN when KeepSamples was off or nothing was
+// observed. Beyond SampleCap observations the reservoir makes this an
+// estimate over a uniform subsample — deterministic for a given seed, like
+// everything else about the stream.
+func (s *Stream) Percentile(p float64) float64 {
+	if len(s.Samples) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.Samples...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // Aggregate is the streaming summary of a trial series: per-metric online

@@ -1,0 +1,683 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"delphi/internal/feeds"
+)
+
+// This file is the continuous-service oracle mode (ROADMAP item 3): instead
+// of one-shot agreement trials, a Service drives an open-loop arrival
+// process of agreement rounds over a persistent backend session, admits a
+// bounded window of concurrent in-flight instances with explicit
+// backpressure, and fans decided rounds out to a modeled subscriber
+// population with end-to-end staleness measurement.
+//
+// Two execution models share the configuration and report:
+//
+//   - The simulator model is a deterministic queueing overlay. Every
+//     round's agreement runs through the ordinary batch engine (parallel,
+//     byte-identical at any worker count), then a single-threaded virtual
+//     clock replays the arrival process against the per-round virtual
+//     service times. Reports are byte-identical across reruns and worker
+//     counts.
+//   - The live model (live/tcp backends, registered by internal/backend)
+//     runs rounds as real concurrent protocol instances multiplexed onto
+//     one persistent fabric, paced by the wall clock, with a real
+//     feeds.Fanout delivering to live representative subscribers.
+
+// ArrivalKind selects the service's interarrival law.
+type ArrivalKind int
+
+const (
+	// ArrivalPoisson draws exponential interarrivals: a memoryless open
+	// loop at the configured rate.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalBursty draws Pareto interarrivals with the same mean: most
+	// gaps are short (bursts), a heavy tail of long lulls.
+	ArrivalBursty
+)
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("arrivals(%d)", int(k))
+	}
+}
+
+// ServiceConfig describes one continuous-service run.
+type ServiceConfig struct {
+	// Scenario is the per-round workload: protocol, cluster size,
+	// environment, input shape, fault load, adversary, and backend. Round i
+	// runs the scenario's trial-i spec, so inputs vary round to round
+	// exactly as they vary trial to trial in a batch.
+	Scenario Scenario
+	// Rounds is the number of arrivals to generate.
+	Rounds int
+	// Rate is the arrival rate in rounds per second — virtual seconds on
+	// the simulator, wall seconds on live backends.
+	Rate float64
+	// Arrivals selects the interarrival law.
+	Arrivals ArrivalKind
+	// BurstAlpha is the Pareto tail index for ArrivalBursty (default 1.5;
+	// must exceed 1 so the mean interarrival exists).
+	BurstAlpha float64
+	// Window bounds concurrent in-flight rounds (default 4).
+	Window int
+	// Queue bounds the waiting room for rounds arriving with the window
+	// full; beyond it arrivals are shed. 0 means shed immediately.
+	Queue int
+	// Timeout bounds one round on a wall-clock backend; 0 uses the
+	// backend's default. Ignored by the simulator.
+	Timeout time.Duration
+	// Duration optionally caps a live service run: arrivals stop once the
+	// wall clock passes it, even with Rounds unserved. Ignored by the
+	// simulator (virtual time is free).
+	Duration time.Duration
+	// Subscribers models the client population fed by decided rounds.
+	// Size 0 disables the fan-out stage.
+	Subscribers feeds.Population
+	// Representatives bounds the live subscriber instances standing in for
+	// the population (default 8); the rest are modeled through
+	// Subscribers.Delay.
+	Representatives int
+	// SubBuffer is each representative's fan-out buffer (default 16).
+	SubBuffer int
+}
+
+func (c ServiceConfig) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 4
+}
+
+func (c ServiceConfig) burstAlpha() float64 {
+	if c.BurstAlpha > 0 {
+		return c.BurstAlpha
+	}
+	return 1.5
+}
+
+func (c ServiceConfig) representatives() int {
+	if c.Representatives > 0 {
+		return c.Representatives
+	}
+	return 8
+}
+
+func (c ServiceConfig) subBuffer() int {
+	if c.SubBuffer > 0 {
+		return c.SubBuffer
+	}
+	return 16
+}
+
+// Validate checks the configuration.
+func (c ServiceConfig) Validate() error {
+	if err := c.Scenario.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("bench: service needs Rounds >= 1, got %d", c.Rounds)
+	}
+	if !(c.Rate > 0) {
+		return fmt.Errorf("bench: service needs Rate > 0, got %g", c.Rate)
+	}
+	if c.Arrivals == ArrivalBursty && c.burstAlpha() <= 1 {
+		return fmt.Errorf("bench: bursty arrivals need BurstAlpha > 1, got %g", c.BurstAlpha)
+	}
+	if c.Queue < 0 {
+		return fmt.Errorf("bench: negative Queue %d", c.Queue)
+	}
+	return nil
+}
+
+// ServiceReport is a service run's accounting and measurements. Every
+// arrival is accounted exactly once: Arrived == Decided + Shed + Failed
+// (plus, on a Duration-capped live run, arrivals never generated are simply
+// not in Arrived).
+type ServiceReport struct {
+	// Backend records the executing backend.
+	Backend BackendKind
+	// Arrived counts generated arrivals; Decided, Shed, and Failed
+	// partition them.
+	Arrived, Decided, Shed, Failed int
+	// MaxInFlight and MaxQueued are the observed occupancy high-water
+	// marks (MaxInFlight ≤ Window, MaxQueued ≤ Queue).
+	MaxInFlight, MaxQueued int
+	// LatencyMS is end-to-end per decided round: arrival → decision,
+	// queueing included. ServiceMS is the agreement alone (start →
+	// decision); QueueMS is the wait (arrival → start).
+	LatencyMS, ServiceMS, QueueMS Stream
+	// StalenessMS is per (decided round, modeled subscriber): arrival →
+	// value visible at the subscriber, i.e. latency + fan-out transit +
+	// the subscriber's modeled propagation delay.
+	StalenessMS Stream
+	// Span is first arrival → last decision (virtual on the simulator,
+	// wall on live backends); RoundsPerSec is Decided/Span.
+	Span         time.Duration
+	RoundsPerSec float64
+	// StaleFrames counts frames the session's demux shed because their
+	// instance was already collected (late stragglers of decided rounds) —
+	// accounted, expected small, and zero on the simulator.
+	StaleFrames uint64
+	// TransportDrops counts frames the transports observably lost
+	// (session-level delta; zero on a healthy run).
+	TransportDrops uint64
+	// DeliveredUpdates and SubDropped count fan-out deliveries to the
+	// representative subscribers and updates shed by their bounded
+	// buffers.
+	DeliveredUpdates, SubDropped uint64
+}
+
+// Fingerprint renders every deterministic field with exact float bits — the
+// byte-identity gate for simulator service runs. Wall-clock-only noise
+// (none on the simulator) is excluded by construction: the simulator model
+// never touches the wall clock.
+func (r *ServiceReport) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "backend=%s arrived=%d decided=%d shed=%d failed=%d maxin=%d maxq=%d span=%d stale=%d drops=%d delivered=%d subdropped=%d\n",
+		r.Backend, r.Arrived, r.Decided, r.Shed, r.Failed, r.MaxInFlight, r.MaxQueued,
+		int64(r.Span), r.StaleFrames, r.TransportDrops, r.DeliveredUpdates, r.SubDropped)
+	fmt.Fprintf(&b, "rps=%x\n", r.RoundsPerSec)
+	for _, s := range []struct {
+		name string
+		st   *Stream
+	}{
+		{"latency", &r.LatencyMS}, {"service", &r.ServiceMS},
+		{"queue", &r.QueueMS}, {"staleness", &r.StalenessMS},
+	} {
+		fmt.Fprintf(&b, "%s n=%d mean=%x min=%x max=%x p50=%x p99=%x\n",
+			s.name, s.st.N(), s.st.Mean(), s.st.Min(), s.st.Max(),
+			s.st.Percentile(0.50), s.st.Percentile(0.99))
+	}
+	return b.String()
+}
+
+// Text renders the report for humans. Deterministic on the simulator (it
+// prints only virtual-clock quantities there).
+func (r *ServiceReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service backend=%s\n", r.Backend)
+	fmt.Fprintf(&b, "  rounds: arrived=%d decided=%d shed=%d failed=%d\n",
+		r.Arrived, r.Decided, r.Shed, r.Failed)
+	fmt.Fprintf(&b, "  occupancy: max-in-flight=%d max-queued=%d\n", r.MaxInFlight, r.MaxQueued)
+	fmt.Fprintf(&b, "  throughput: %.2f rounds/s over %v\n", r.RoundsPerSec, r.Span.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  latency ms: mean=%.3f p50=%.3f p99=%.3f max=%.3f (queue mean=%.3f)\n",
+		r.LatencyMS.Mean(), r.LatencyMS.Percentile(0.50), r.LatencyMS.Percentile(0.99),
+		r.LatencyMS.Max(), r.QueueMS.Mean())
+	if r.StalenessMS.N() > 0 {
+		fmt.Fprintf(&b, "  staleness ms: mean=%.3f p50=%.3f p99=%.3f (%d deliveries, %d shed by slow subscribers)\n",
+			r.StalenessMS.Mean(), r.StalenessMS.Percentile(0.50), r.StalenessMS.Percentile(0.99),
+			r.DeliveredUpdates, r.SubDropped)
+	}
+	fmt.Fprintf(&b, "  session: stale-frames=%d transport-drops=%d\n", r.StaleFrames, r.TransportDrops)
+	return b.String()
+}
+
+// ServiceRunner executes individual service rounds on a persistent live
+// substrate. Unlike BackendSession.Run, RunRound must be safe for
+// concurrent calls: the service keeps up to Window rounds in flight at
+// once, each as its own multiplexed protocol instance.
+type ServiceRunner interface {
+	// RunRound executes one round's spec as a fresh protocol instance on
+	// the shared fabric.
+	RunRound(RunSpec) (*RunStats, error)
+	// StaleFrames returns the demux's count of frames shed because their
+	// instance was already collected.
+	StaleFrames() uint64
+	// Drops returns the transports' observable frame loss since open.
+	Drops() uint64
+	// Close tears the substrate down.
+	Close() error
+}
+
+// ServiceOpen opens a live service substrate sized for spec's cluster;
+// timeout bounds each round (0 means the backend default).
+type ServiceOpen func(spec RunSpec, timeout time.Duration) (ServiceRunner, error)
+
+var (
+	serviceMu  sync.RWMutex
+	serviceTab = map[BackendKind]ServiceOpen{}
+)
+
+// RegisterServiceBackend installs concurrent-instance service support for a
+// registered wall-clock backend. The simulator's service model is built in.
+func RegisterServiceBackend(kind BackendKind, open ServiceOpen) error {
+	if kind == "" || kind == BackendSim {
+		return fmt.Errorf("bench: service on backend %q is built in", kind)
+	}
+	if open == nil {
+		return fmt.Errorf("bench: service backend %q: nil opener", kind)
+	}
+	if !BackendRegistered(kind) {
+		return fmt.Errorf("bench: service backend %q not registered", kind)
+	}
+	serviceMu.Lock()
+	defer serviceMu.Unlock()
+	if _, dup := serviceTab[kind]; dup {
+		return fmt.Errorf("bench: service backend %q already registered", kind)
+	}
+	serviceTab[kind] = open
+	return nil
+}
+
+// MustRegisterServiceBackend is RegisterServiceBackend panicking on error.
+func MustRegisterServiceBackend(kind BackendKind, open ServiceOpen) {
+	if err := RegisterServiceBackend(kind, open); err != nil {
+		panic(err)
+	}
+}
+
+func serviceOpenOf(kind BackendKind) ServiceOpen {
+	serviceMu.RLock()
+	defer serviceMu.RUnlock()
+	return serviceTab[kind]
+}
+
+// RunService executes one continuous-service run and returns its report.
+// Simulator cells run the deterministic queueing model; live cells need
+// their backend's service support registered (import internal/backend).
+func (e *Engine) RunService(cfg ServiceConfig, seed int64) (*ServiceReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kind := cfg.Scenario.Backend
+	if kind == "" {
+		kind = defaultBackend
+	}
+	if kind == "" || kind == BackendSim {
+		return e.runServiceSim(cfg, seed)
+	}
+	open := serviceOpenOf(kind)
+	if open == nil {
+		return nil, fmt.Errorf("bench: backend %q has no service support (import delphi/internal/backend)", kind)
+	}
+	return runServiceLive(cfg, kind, seed, open)
+}
+
+// RunServiceScenarios runs the service once per cell — the Matrix wiring:
+// expand a Matrix to cells, then sweep the same arrival process across
+// them. cfg.Scenario is replaced by each cell in turn.
+func (e *Engine) RunServiceScenarios(cells []Scenario, cfg ServiceConfig, seed int64) ([]*ServiceReport, error) {
+	out := make([]*ServiceReport, len(cells))
+	for i, cell := range cells {
+		c := cfg
+		c.Scenario = cell
+		r, err := e.RunService(c, seed)
+		if err != nil {
+			return nil, fmt.Errorf("service cell %q: %w", cell.Name, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// interarrival returns arrival i's gap in seconds, a pure function of
+// (seed, i).
+func (c ServiceConfig) interarrival(seed int64, i int) float64 {
+	u := serviceUniform(seed, 0xA11, i)
+	switch c.Arrivals {
+	case ArrivalBursty:
+		// Pareto with mean 1/Rate: xm·α/(α−1) = 1/Rate.
+		alpha := c.burstAlpha()
+		xm := (alpha - 1) / (alpha * c.Rate)
+		return xm * math.Pow(1-u, -1/alpha)
+	default:
+		return -math.Log(1-u) / c.Rate
+	}
+}
+
+// serviceUniform maps (seed, stream, i) to a uniform in (0,1) via two
+// splitmix64 finalisation rounds — the service's only randomness, shared by
+// the sim model and the live arrival pacer so both draw identical processes.
+func serviceUniform(seed int64, stream uint64, i int) float64 {
+	x := uint64(seed) ^ (stream+1)*0x9E3779B97F4A7C15
+	x += uint64(i+1) * 0xBF58476D1CE4E5B9
+	for r := 0; r < 2; r++ {
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	u := float64(x>>11) / (1 << 53)
+	if u <= 0 {
+		u = 0x1p-53
+	}
+	if u >= 1 {
+		u = 1 - 0x1p-53
+	}
+	return u
+}
+
+// newServiceReport seeds the report's reservoirs so fingerprints are stable.
+func newServiceReport(kind BackendKind) *ServiceReport {
+	r := &ServiceReport{Backend: kind}
+	for i, s := range []*Stream{&r.LatencyMS, &r.ServiceMS, &r.QueueMS, &r.StalenessMS} {
+		s.KeepSamples = true
+		s.SampleSeed = uint64(i + 1)
+	}
+	return r
+}
+
+// doneHeap is a min-heap of in-flight completions ordered by (time, round):
+// the deterministic tiebreak keeps the sim overlay byte-identical when two
+// virtual completions coincide.
+type doneHeap []doneEv
+
+type doneEv struct {
+	at    float64 // completion time, seconds
+	round int
+}
+
+func (h doneHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].round < h[j].round
+}
+
+func (h *doneHeap) push(e doneEv) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *doneHeap) pop() doneEv {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// runServiceSim is the deterministic service model. Agreement rounds run
+// through the parallel batch engine first (deterministic per spec), then a
+// single-threaded virtual-clock overlay replays arrivals, window occupancy,
+// queueing, shedding, and subscriber staleness. Rounds that end up shed had
+// their agreement computed for nothing — the price of keeping the batch
+// stage embarrassingly parallel; the overlay itself is O(Rounds log Window).
+func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, error) {
+	specs := make([]RunSpec, cfg.Rounds)
+	for i := range specs {
+		specs[i] = cfg.Scenario.Spec(seed, i)
+	}
+	stats, err := e.RunBatch(specs)
+	if err != nil {
+		return nil, fmt.Errorf("service round: %w", err)
+	}
+
+	rep := newServiceReport(BackendSim)
+	reps := cfg.Subscribers.Representatives(cfg.representatives())
+	window, queueCap := cfg.window(), cfg.Queue
+
+	var inflight doneHeap
+	var queue []int // round indices waiting, FIFO
+	arrivals := make([]float64, cfg.Rounds)
+	now := 0.0
+	for i := range arrivals {
+		now += cfg.interarrival(seed, i)
+		arrivals[i] = now
+	}
+	lastDone := arrivals[0]
+
+	start := func(round int, at float64) {
+		service := float64(stats[round].Latency) / float64(time.Second)
+		done := at + service
+		inflight.push(doneEv{at: done, round: round})
+		rep.QueueMS.Add((at - arrivals[round]) * 1e3)
+		rep.ServiceMS.Add(service * 1e3)
+	}
+	finish := func(ev doneEv) {
+		rep.Decided++
+		if ev.at > lastDone {
+			lastDone = ev.at
+		}
+		latency := ev.at - arrivals[ev.round]
+		rep.LatencyMS.Add(latency * 1e3)
+		for _, sub := range reps {
+			d := cfg.Subscribers.Delay(int64(ev.round), sub)
+			rep.StalenessMS.Add(latency*1e3 + float64(d)/float64(time.Millisecond))
+			rep.DeliveredUpdates++
+		}
+		if len(queue) > 0 {
+			next := queue[0]
+			queue = queue[1:]
+			start(next, ev.at)
+		}
+	}
+
+	for i := 0; i < cfg.Rounds; i++ {
+		t := arrivals[i]
+		for len(inflight) > 0 && inflight[0].at <= t {
+			finish(inflight.pop())
+		}
+		rep.Arrived++
+		switch {
+		case len(inflight) < window:
+			start(i, t)
+		case len(queue) < queueCap:
+			queue = append(queue, i)
+		default:
+			rep.Shed++
+		}
+		if len(inflight) > rep.MaxInFlight {
+			rep.MaxInFlight = len(inflight)
+		}
+		if len(queue) > rep.MaxQueued {
+			rep.MaxQueued = len(queue)
+		}
+	}
+	for len(inflight) > 0 {
+		finish(inflight.pop())
+	}
+
+	span := lastDone - arrivals[0]
+	rep.Span = time.Duration(span * float64(time.Second))
+	if span > 0 {
+		rep.RoundsPerSec = float64(rep.Decided) / span
+	}
+	return rep, nil
+}
+
+// runServiceLive drives real concurrent rounds over one persistent service
+// substrate, paced by the wall clock, with a live fan-out stage.
+func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open ServiceOpen) (*ServiceReport, error) {
+	spec0 := cfg.Scenario.Spec(seed, 0)
+	spec0.Backend = kind
+	runner, err := open(spec0, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("bench: open %s service: %w", kind, err)
+	}
+	defer runner.Close()
+
+	rep := newServiceReport(kind)
+	fanout := feeds.NewFanout()
+	reps := cfg.Subscribers.Representatives(cfg.representatives())
+
+	// Representative subscribers: each records per-delivery staleness =
+	// (wall delivery lag behind the round's arrival) + its modeled
+	// propagation delay. Wall-clock quantities, so no determinism claim.
+	type subResult struct {
+		staleness []float64
+		delivered uint64
+		dropped   uint64
+	}
+	subResults := make([]subResult, len(reps))
+	var subWG sync.WaitGroup
+	for si, subIdx := range reps {
+		s := fanout.Subscribe(cfg.subBuffer())
+		subWG.Add(1)
+		go func(si, subIdx int, s *feeds.Subscriber) {
+			defer subWG.Done()
+			for {
+				u, ok := s.Recv(nil)
+				if !ok {
+					subResults[si].dropped = s.Dropped()
+					return
+				}
+				lag := time.Since(u.At) + cfg.Subscribers.Delay(u.Round, subIdx)
+				subResults[si].staleness = append(subResults[si].staleness,
+					float64(lag)/float64(time.Millisecond))
+				subResults[si].delivered++
+			}
+		}(si, subIdx, s)
+	}
+
+	// Shared service state: window occupancy and the bounded queue.
+	type queued struct {
+		round   int
+		arrived time.Time
+	}
+	var (
+		mu       sync.Mutex
+		inflight int
+		queue    []queued
+		wg       sync.WaitGroup
+		firstMu  sync.Mutex
+		firstErr error
+	)
+	var launch func(q queued)
+	runRound := func(q queued) {
+		defer wg.Done()
+		spec := cfg.Scenario.Spec(seed, q.round)
+		spec.Backend = kind
+		started := time.Now()
+		st, err := runner.RunRound(spec)
+		decided := time.Now()
+
+		mu.Lock()
+		if err != nil {
+			rep.Failed++
+		} else {
+			rep.Decided++
+			rep.QueueMS.Add(float64(started.Sub(q.arrived)) / float64(time.Millisecond))
+			rep.ServiceMS.Add(float64(decided.Sub(started)) / float64(time.Millisecond))
+			rep.LatencyMS.Add(float64(decided.Sub(q.arrived)) / float64(time.Millisecond))
+		}
+		var next *queued
+		if len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			next = &n
+		} else {
+			inflight--
+		}
+		mu.Unlock()
+
+		if err != nil {
+			firstMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("round %d: %w", q.round, err)
+			}
+			firstMu.Unlock()
+		} else if len(reps) > 0 {
+			value := math.NaN()
+			if len(st.Outputs) > 0 {
+				value = st.Outputs[0]
+			}
+			fanout.Publish(feeds.Update{Round: int64(q.round), Value: value, At: q.arrived})
+		}
+		if next != nil {
+			launch(*next)
+		}
+	}
+	launch = func(q queued) {
+		wg.Add(1)
+		go runRound(q)
+	}
+
+	// Open-loop arrival pacer: the same deterministic interarrival draws as
+	// the sim model, applied to the wall clock. Arrivals are never gated on
+	// completions — that is what makes backpressure observable.
+	begin := time.Now()
+	next := begin
+	for i := 0; i < cfg.Rounds; i++ {
+		next = next.Add(time.Duration(cfg.interarrival(seed, i) * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if cfg.Duration > 0 && time.Since(begin) > cfg.Duration {
+			break
+		}
+		now := time.Now()
+		mu.Lock()
+		rep.Arrived++
+		var admit *queued
+		switch {
+		case inflight < cfg.window():
+			inflight++
+			admit = &queued{round: i, arrived: now}
+		case len(queue) < cfg.Queue:
+			queue = append(queue, queued{round: i, arrived: now})
+		default:
+			rep.Shed++
+		}
+		if inflight > rep.MaxInFlight {
+			rep.MaxInFlight = inflight
+		}
+		if len(queue) > rep.MaxQueued {
+			rep.MaxQueued = len(queue)
+		}
+		mu.Unlock()
+		if admit != nil {
+			launch(*admit)
+		}
+	}
+	wg.Wait()
+	fanout.Close()
+	subWG.Wait()
+
+	for _, sr := range subResults {
+		for _, v := range sr.staleness {
+			rep.StalenessMS.Add(v)
+		}
+		rep.DeliveredUpdates += sr.delivered
+		rep.SubDropped += sr.dropped
+	}
+	rep.Span = time.Since(begin)
+	if s := rep.Span.Seconds(); s > 0 {
+		rep.RoundsPerSec = float64(rep.Decided) / s
+	}
+	rep.StaleFrames = runner.StaleFrames()
+	rep.TransportDrops = runner.Drops()
+	if rep.Decided == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return rep, nil
+}

@@ -130,8 +130,29 @@ func (b *inbox) tryGet() (Frame, bool) {
 	b.buf[b.head] = Frame{} // drop the reference for GC
 	b.head = (b.head + 1) % len(b.buf)
 	b.count--
+	if len(b.buf) >= inboxShrinkMin && b.count <= len(b.buf)/8 {
+		b.shrink()
+	}
 	b.mu.Unlock()
 	return f, true
+}
+
+// inboxShrinkMin is the smallest ring the pop path will halve. Shrinking at
+// ≤1/8 occupancy while growth doubles at full leaves a 4x hysteresis band,
+// so a ring oscillating around one size never thrashes between the two.
+const inboxShrinkMin = 128
+
+// shrink halves the ring, unrolling the wrap. A long-lived inbox otherwise
+// keeps the high-water ring of its worst burst forever — for a session
+// hosting thousands of rounds, that is a per-slot leak proportional to peak
+// concurrency, not current load. Caller holds b.mu.
+func (b *inbox) shrink() {
+	next := make([]Frame, len(b.buf)/2)
+	for i := 0; i < b.count; i++ {
+		next[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
+	b.buf = next
+	b.head = 0
 }
 
 // close marks the inbox closed and wakes every blocked getter. Frames

@@ -143,6 +143,45 @@ func TestInboxBufferReuse(t *testing.T) {
 	}
 }
 
+// TestInboxShrinkAfterBurst pins the ring's release of burst memory: after
+// a burst grows the ring, draining it back down halves the ring (with
+// hysteresis) instead of keeping the high-water capacity forever — a
+// long-lived session must not hold peak-burst memory per slot. FIFO order
+// must survive every shrink.
+func TestInboxShrinkAfterBurst(t *testing.T) {
+	box := newInbox(16)
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		if !box.put(Frame{From: node.ID(i), Data: []byte{byte(i)}}) {
+			t.Fatal("put rejected on an open inbox")
+		}
+	}
+	if len(box.buf) < burst {
+		t.Fatalf("ring did not grow: cap %d after burst of %d", len(box.buf), burst)
+	}
+	for i := 0; i < burst; i++ {
+		f, ok := box.tryGet()
+		if !ok {
+			t.Fatalf("drained only %d of %d frames", i, burst)
+		}
+		if f.From != node.ID(i) || f.Data[0] != byte(i) {
+			t.Fatalf("frame %d out of order after shrink (got from=%v)", i, f.From)
+		}
+	}
+	if len(box.buf) >= inboxShrinkMin {
+		t.Fatalf("ring kept %d slots after drain, want < %d", len(box.buf), inboxShrinkMin)
+	}
+	// The shrunken ring still works: interleaved traffic survives.
+	for i := 0; i < 200; i++ {
+		box.put(Frame{Data: []byte{byte(i)}})
+	}
+	for i := 0; i < 200; i++ {
+		if f, ok := box.tryGet(); !ok || f.Data[0] != byte(i) {
+			t.Fatalf("post-shrink frame %d broken", i)
+		}
+	}
+}
+
 // TestEnvelopeRoundtrip pins the batch wire format: AppendBatch and
 // UnpackBatch are inverses, member order is preserved, and empty members
 // survive.

@@ -1,0 +1,231 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"delphi/internal/auth"
+	"delphi/internal/node"
+)
+
+// MuxFabric is the slice of a persistent fabric (Hub, TCPNet) an InstanceMux
+// needs: per-slot receive, per-slot buffer recycling, and the cluster size.
+type MuxFabric interface {
+	N() int
+	Recv(id node.ID, stop <-chan struct{}) (Frame, bool)
+	Recycle(id node.ID, buf []byte)
+}
+
+var (
+	_ MuxFabric = (*Hub)(nil)
+	_ MuxFabric = (*TCPNet)(nil)
+)
+
+// InstanceMux lets any number of concurrent protocol instances share one
+// persistent fabric. Each instance seals frames with its own epoch key and
+// sends them through tagged endpoints (TaggedEndpoint on the fabric), which
+// append the instance's 8-byte tag after the MAC. The mux runs one reader
+// per fabric slot that routes each inbound frame to the owning instance's
+// per-slot inbox by that plaintext tag — no MAC trials, no shared-key
+// ambiguity — and strips the tag, so the driver on the other end sees
+// exactly the sealed frame its epoch authenticator expects.
+//
+// Frames whose tag matches no live instance are counted in Stale and their
+// buffers recycled. That covers the three straggler shapes a long-lived
+// session produces: frames still in flight when their round decided and was
+// garbage-collected, frames for a tag never registered (foreign traffic),
+// and frames too short to carry a tag. A frame maliciously relabeled with a
+// live instance's tag routes to that instance and then fails its MAC —
+// authentication never depends on the tag.
+//
+// While a mux is attached to a fabric it must be the only consumer of the
+// fabric's inboxes (sessions stop their idle-slot drainers first); readers
+// always drain, so senders can never wedge on a decided instance.
+type InstanceMux struct {
+	fab   MuxFabric
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	stale atomic.Uint64
+
+	mu     sync.Mutex
+	insts  map[uint64]*MuxInstance
+	closed bool
+}
+
+// NewInstanceMux attaches a mux to the fabric and starts its per-slot
+// readers.
+func NewInstanceMux(fab MuxFabric) *InstanceMux {
+	m := &InstanceMux{
+		fab:   fab,
+		stop:  make(chan struct{}),
+		insts: make(map[uint64]*MuxInstance),
+	}
+	for i := 0; i < fab.N(); i++ {
+		m.wg.Add(1)
+		go m.readLoop(node.ID(i))
+	}
+	return m
+}
+
+// readLoop consumes every frame the fabric delivers for slot id and routes
+// it; it exits when the mux or the fabric closes.
+func (m *InstanceMux) readLoop(id node.ID) {
+	defer m.wg.Done()
+	for {
+		f, ok := m.fab.Recv(id, m.stop)
+		if !ok {
+			return
+		}
+		m.route(id, f)
+	}
+}
+
+// route hands a frame to its instance's slot inbox, or counts it stale and
+// recycles the buffer.
+func (m *InstanceMux) route(id node.ID, f Frame) {
+	if len(f.Data) < TagSize+auth.MACSize {
+		m.discard(id, f.Data)
+		return
+	}
+	tag := binary.LittleEndian.Uint64(f.Data[len(f.Data)-TagSize:])
+	m.mu.Lock()
+	inst := m.insts[tag]
+	m.mu.Unlock()
+	if inst == nil {
+		m.discard(id, f.Data)
+		return
+	}
+	f.Data = f.Data[:len(f.Data)-TagSize]
+	if !inst.slots[id].put(f) {
+		// The instance closed between lookup and put; its drain already ran,
+		// so this frame is ours to reclaim.
+		m.discard(id, f.Data)
+	}
+}
+
+func (m *InstanceMux) discard(id node.ID, buf []byte) {
+	m.stale.Add(1)
+	m.fab.Recycle(id, buf)
+}
+
+// Register creates the instance for tag: one inbox per fabric slot, fed by
+// the mux's readers. Tags must be unique among live instances — sessions use
+// a monotonic round counter, so uniqueness is structural.
+func (m *InstanceMux) Register(tag uint64) (*MuxInstance, error) {
+	inst := &MuxInstance{mux: m, tag: tag, slots: make([]*inbox, m.fab.N())}
+	for i := range inst.slots {
+		inst.slots[i] = newInbox(64)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("runtime: mux closed")
+	}
+	if _, dup := m.insts[tag]; dup {
+		return nil, fmt.Errorf("runtime: instance tag %d already live", tag)
+	}
+	m.insts[tag] = inst
+	return inst, nil
+}
+
+// Stale returns the count of frames discarded because no live instance
+// claimed them (plus undersized frames). Monotonic over the mux's life;
+// clean runs see a small residue here — the final frames of each round are
+// still in flight when the round's honest quorum halts and the instance is
+// collected.
+func (m *InstanceMux) Stale() uint64 { return m.stale.Load() }
+
+// Close stops the readers and refuses further registration. The fabric is
+// untouched — it belongs to the session, which may reattach drainers or a
+// fresh mux afterwards. Live instances' inboxes are closed and drained so
+// no blocked driver outlives the mux. Idempotent.
+func (m *InstanceMux) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	live := make([]*MuxInstance, 0, len(m.insts))
+	for _, inst := range m.insts {
+		live = append(live, inst)
+	}
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+	for _, inst := range live {
+		inst.Close()
+	}
+}
+
+// MuxInstance is one protocol instance's view of the shared fabric: a
+// per-slot inbox the mux fills, and tagged endpoints for sending.
+type MuxInstance struct {
+	mux   *InstanceMux
+	tag   uint64
+	slots []*inbox
+	once  sync.Once
+}
+
+// Tag returns the instance's routing tag.
+func (inst *MuxInstance) Tag() uint64 { return inst.tag }
+
+// Endpoint wraps out — the fabric's tagged endpoint for slot id, carrying
+// this instance's tag and epoch authenticator — into the Transport a driver
+// runs on: sends go out tagged, receives come from the instance's slot
+// inbox, and recycled buffers return to the fabric pool.
+func (inst *MuxInstance) Endpoint(id node.ID, out Transport) Transport {
+	return &muxEndpoint{inst: inst, id: id, out: out}
+}
+
+// Close unregisters the instance and reclaims its inboxes: this is the
+// instance GC that lets a decided round release its buffers while the
+// session lives on. Frames still queued (or routed concurrently with the
+// close) are counted stale and their buffers recycled to the fabric.
+// Idempotent and safe alongside the mux's readers.
+func (inst *MuxInstance) Close() {
+	inst.once.Do(func() {
+		m := inst.mux
+		m.mu.Lock()
+		if m.insts[inst.tag] == inst {
+			delete(m.insts, inst.tag)
+		}
+		m.mu.Unlock()
+		for id, box := range inst.slots {
+			box.close()
+			for {
+				f, ok := box.tryGet()
+				if !ok {
+					break
+				}
+				m.discard(node.ID(id), f.Data)
+			}
+		}
+	})
+}
+
+// muxEndpoint is the per-(instance, slot) Transport handed to a driver.
+type muxEndpoint struct {
+	inst *MuxInstance
+	id   node.ID
+	out  Transport
+}
+
+var _ Transport = (*muxEndpoint)(nil)
+var _ Recycler = (*muxEndpoint)(nil)
+
+func (e *muxEndpoint) Send(to node.ID, frame []byte) error { return e.out.Send(to, frame) }
+
+func (e *muxEndpoint) Recv(stop <-chan struct{}) (Frame, bool) {
+	return e.inst.slots[e.id].get(stop)
+}
+
+func (e *muxEndpoint) TryRecv() (Frame, bool) { return e.inst.slots[e.id].tryGet() }
+
+func (e *muxEndpoint) Recycle(buf []byte) { e.inst.mux.fab.Recycle(e.id, buf) }
+
+// Close is a no-op: the instance owns its inboxes (closed by instance GC),
+// the fabric owns the wire.
+func (e *muxEndpoint) Close() error { return nil }

@@ -47,6 +47,13 @@ type Frame struct {
 	Data []byte
 }
 
+// TagSize is the length of the plaintext instance tag a tagged endpoint
+// appends after the MAC (see TaggedEndpoint on Hub and TCPNet). The tag is
+// routing metadata, not authenticated payload: an InstanceMux strips it to
+// pick the destination instance, and a relabeled tag merely routes the frame
+// to an instance whose epoch key rejects the MAC.
+const TagSize = 8
+
 // Transport moves sealed frames between nodes.
 type Transport interface {
 	// Send transmits an authenticated frame to a peer. The frame slice is
@@ -98,6 +105,23 @@ func (h *Hub) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &hubTransport{hub: h, id: id, auth: a}
 }
 
+// TaggedEndpoint is Endpoint for one instance of a multiplexed session: every
+// outbound frame carries the 8-byte little-endian instance tag after its MAC,
+// so an InstanceMux on the receiving side can route it without trying keys.
+func (h *Hub) TaggedEndpoint(id node.ID, a *auth.Auth, tag uint64) Transport {
+	t := &hubTransport{hub: h, id: id, auth: a, tagged: true}
+	binary.LittleEndian.PutUint64(t.tag[:], tag)
+	return t
+}
+
+// N returns the hub's node count.
+func (h *Hub) N() int { return h.n }
+
+// Recycle returns a frame buffer to node id's inbox pool. It is the
+// slot-addressed form of the endpoint Recycler, for receivers (an
+// InstanceMux) that consume frames for many slots from one place.
+func (h *Hub) Recycle(id node.ID, buf []byte) { h.inbox[id].recycle(buf) }
+
 // Recv receives the next frame addressed to node id — the inbox is shared
 // by every endpoint for id — so a session can drain frames addressed to
 // idle or crashed slots between runs. Semantics match Transport.Recv.
@@ -120,9 +144,11 @@ func (h *Hub) Close() {
 }
 
 type hubTransport struct {
-	hub  *Hub
-	id   node.ID
-	auth *auth.Auth
+	hub    *Hub
+	id     node.ID
+	auth   *auth.Auth
+	tagged bool
+	tag    [TagSize]byte
 }
 
 var _ Transport = (*hubTransport)(nil)
@@ -136,7 +162,14 @@ func (t *hubTransport) Send(to node.ID, frame []byte) error {
 	// Seal into a buffer recycled from the destination's inbox: the
 	// receiver hands it back after delivery, so steady-state sends are
 	// alloc-free.
-	sealed := t.auth.AppendSeal(to, box.getBuf(len(frame) + auth.MACSize)[:0], frame)
+	need := len(frame) + auth.MACSize
+	if t.tagged {
+		need += TagSize
+	}
+	sealed := t.auth.AppendSeal(to, box.getBuf(need)[:0], frame)
+	if t.tagged {
+		sealed = append(sealed, t.tag[:]...)
+	}
 	if !box.put(Frame{From: t.id, Data: sealed}) {
 		// Closed hub: dropping is correct (the run is over), but counted.
 		t.hub.drops.Add(1)
@@ -358,14 +391,15 @@ func (t *tcpTransport) Send(to node.ID, frame []byte) error {
 	if t.auth == nil {
 		return fmt.Errorf("runtime: send on a TCPNet core (use an Endpoint)")
 	}
-	return t.sendFrame(to, t.auth, frame)
+	return t.sendFrame(to, t.auth, frame, nil)
 }
 
 // sendFrame seals and writes one frame to peer to, dialing (or re-dialing)
-// as needed. Header, payload, and MAC are assembled in the peer's write
-// scratch and go out as one buffer — one syscall per frame, no allocation
-// in steady state.
-func (t *tcpTransport) sendFrame(to node.ID, a *auth.Auth, frame []byte) error {
+// as needed. Header, payload, MAC, and the optional instance tag (nil or
+// TagSize bytes, appended plaintext after the MAC) are assembled in the
+// peer's write scratch and go out as one buffer — one syscall per frame, no
+// allocation in steady state.
+func (t *tcpTransport) sendFrame(to node.ID, a *auth.Auth, frame, tag []byte) error {
 	if int(to) < 0 || int(to) >= len(t.addrs) {
 		return fmt.Errorf("runtime: bad destination %v", to)
 	}
@@ -381,9 +415,17 @@ func (t *tcpTransport) sendFrame(to node.ID, a *auth.Auth, frame []byte) error {
 	}
 	buf := append(pc.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
 	buf = a.AppendSeal(to, buf, frame)
+	buf = append(buf, tag...)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(t.self))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(buf)-8))
-	pc.scratch = buf
+	if cap(buf) <= inboxBufCap {
+		pc.scratch = buf
+	} else {
+		// One jumbo frame must not pin a jumbo scratch on this peer slot for
+		// the rest of the session (the soak workload holds sessions open for
+		// thousands of rounds); same bound as the inbox freelist.
+		pc.scratch = nil
+	}
 	if _, err := c.Write(buf); err != nil {
 		// Close unblocks a writer stuck on a saturated peer by closing the
 		// conn under its feet; either way the next send re-dials.
@@ -474,6 +516,23 @@ func (p *TCPNet) Endpoint(id node.ID, a *auth.Auth) Transport {
 	return &tcpEndpoint{core: p.cores[id], auth: a}
 }
 
+// TaggedEndpoint is Endpoint for one instance of a multiplexed session: every
+// outbound frame carries the 8-byte little-endian instance tag after its MAC
+// (inside the length prefix), so an InstanceMux on the receiving side can
+// route it without trying keys.
+func (p *TCPNet) TaggedEndpoint(id node.ID, a *auth.Auth, tag uint64) Transport {
+	e := &tcpEndpoint{core: p.cores[id], auth: a}
+	var b [TagSize]byte
+	binary.LittleEndian.PutUint64(b[:], tag)
+	e.tag = b[:]
+	return e
+}
+
+// Recycle returns a frame buffer to node id's core pool. It is the
+// slot-addressed form of the endpoint Recycler, for receivers (an
+// InstanceMux) that consume frames for many slots from one place.
+func (p *TCPNet) Recycle(id node.ID, buf []byte) { p.cores[id].in.recycle(buf) }
+
 // Recv receives the next frame addressed to node id — the core inbox is
 // shared by every epoch's view — so a session can drain frames addressed
 // to idle or crashed slots between runs. Semantics match Transport.Recv.
@@ -503,10 +562,12 @@ func (p *TCPNet) Close() error {
 	return first
 }
 
-// tcpEndpoint is one epoch's view of a persistent core.
+// tcpEndpoint is one epoch's view of a persistent core. tag is nil for a
+// plain epoch view, or the TagSize-byte instance tag for a multiplexed one.
 type tcpEndpoint struct {
 	core *tcpTransport
 	auth *auth.Auth
+	tag  []byte
 }
 
 var _ Transport = (*tcpEndpoint)(nil)
@@ -514,7 +575,7 @@ var _ Recycler = (*tcpEndpoint)(nil)
 
 // Send implements Transport, sealing with the epoch's authenticator.
 func (e *tcpEndpoint) Send(to node.ID, frame []byte) error {
-	return e.core.sendFrame(to, e.auth, frame)
+	return e.core.sendFrame(to, e.auth, frame, e.tag)
 }
 
 // Recv implements Transport; the inbox is the core's and outlives the

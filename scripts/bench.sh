@@ -4,21 +4,26 @@
 # Runs the pinned regression benchmarks — BenchmarkSimCore (simulator core:
 # ns/event and allocs/event per size × adversary), BenchmarkTCPCellSetup
 # (per-trial tcp setup cost: persistent session vs per-trial binds/dials),
-# and BenchmarkTCPFrameThroughput (live/tcp frame hot path: frames/sec with
+# BenchmarkTCPFrameThroughput (live/tcp frame hot path: frames/sec with
 # per-step batching vs one-write-per-message, measured as paired alternating
-# trials so host drift cannot bias either lane) — and writes the numbers to
-# BENCH_6.json so perf regressions are diffable across PRs.
+# trials so host drift cannot bias either lane), and the continuous-service
+# benchmarks (BenchmarkServiceSim / BenchmarkServiceTCP: service-mode
+# rounds/sec and p99 subscriber staleness on the deterministic sim model and
+# on a real multiplexed tcp session) — and writes the numbers to
+# BENCH_7.json so perf regressions are diffable across PRs.
 #
 # Usage: scripts/bench.sh [output.json]
-#   SIM_BENCHTIME (default 1s), TCP_BENCHTIME (default 5x), and
-#   FRAME_BENCHTIME (default 6x) tune runtime.
+#   SIM_BENCHTIME (default 1s), TCP_BENCHTIME (default 5x),
+#   FRAME_BENCHTIME (default 6x), and SERVICE_BENCHTIME (default 1x) tune
+#   runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 sim_benchtime="${SIM_BENCHTIME:-1s}"
 tcp_benchtime="${TCP_BENCHTIME:-5x}"
 frame_benchtime="${FRAME_BENCHTIME:-6x}"
+service_benchtime="${SERVICE_BENCHTIME:-1x}"
 
 echo "== BenchmarkSimCore (${sim_benchtime}) =="
 sim_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimCore \
@@ -35,9 +40,17 @@ frame_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPFrameThrough
     -benchtime "$frame_benchtime" -count=1 -timeout 900s 2>/dev/null)
 echo "$frame_out" | grep BenchmarkTCPFrameThroughput
 
+echo "== BenchmarkServiceSim / BenchmarkServiceTCP (${service_benchtime}) =="
+svc_sim_out=$(go test ./internal/bench -run '^$' -bench BenchmarkServiceSim \
+    -benchtime "$service_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$svc_sim_out" | grep BenchmarkServiceSim
+svc_tcp_out=$(go test ./internal/backend -run '^$' -bench BenchmarkServiceTCP \
+    -benchtime "$service_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$svc_tcp_out" | grep BenchmarkServiceTCP
+
 {
     printf '{\n'
-    printf '  "issue": 6,\n'
+    printf '  "issue": 7,\n'
     printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "host": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
@@ -110,8 +123,30 @@ echo "$frame_out" | grep BenchmarkTCPFrameThroughput
         }
         END {
             printf "  \"tcp_frames\": {\"batched_fps\": %s, \"unbatched_fps\": %s},\n", bat, unb
-            printf "  \"tcp_batch_speedup\": %s\n", spd
+            printf "  \"tcp_batch_speedup\": %s,\n", spd
         }'
+
+    # Continuous-service mode: rounds/sec and p99 subscriber staleness per
+    # backend. The sim numbers are virtual-time (deterministic); the tcp
+    # numbers are a real wall-clock soak over one multiplexed session.
+    svc_extract() {
+        awk '
+            /rounds\/s/ {
+                for (i = 2; i < NF; i++) {
+                    if ($(i+1) == "rounds/s") rps = $i
+                    if ($(i+1) == "p99_staleness_ms") p99 = $i
+                }
+            }
+            END {
+                if (rps == "") rps = "null"
+                if (p99 == "") p99 = "null"
+                printf "{\"rounds_per_sec\": %s, \"p99_staleness_ms\": %s}", rps, p99
+            }'
+    }
+    printf '  "service": {\n'
+    printf '    "sim": %s,\n' "$(echo "$svc_sim_out" | svc_extract)"
+    printf '    "tcp": %s\n' "$(echo "$svc_tcp_out" | svc_extract)"
+    printf '  }\n'
     printf '}\n'
 } > "$out"
 

@@ -39,7 +39,7 @@ go test -race ${short_flag:+"$short_flag"} ./...
 echo "== adversary-matrix smoke =="
 adv1=$(mktemp)
 adv2=$(mktemp)
-trap 'rm -f "$adv1" "$adv2"' EXIT
+trap 'rm -f "$adv1" "$adv2" "${svc1:-}" "${svc2:-}"' EXIT
 # (the trailing "[... completed in ...]" wall-clock line is dropped)
 go run ./cmd/experiments -scale quick -seed 1 -run adversary | grep -v '^\[' > "$adv1"
 go run ./cmd/experiments -scale quick -seed 1 -run adversary | grep -v '^\[' > "$adv2"
@@ -94,5 +94,27 @@ go test ./internal/backend -count=1 ${short_flag:+"$short_flag"} \
 echo "== tcp session smoke =="
 go run ./cmd/experiments -scale quick -seed 1 -run sessions > /dev/null \
     2> >(grep -v "drop unauthentic frame" >&2 || true)
+
+# Continuous-service mode, two gates that run on every invocation
+# (including -short):
+#   1. The simulator service model is deterministic end to end: the rendered
+#      report must be byte-identical across reruns AND across worker counts.
+#   2. The tcp soak (short profile: 150 rounds multiplexed onto ONE
+#      persistent loopback session, window 4) under -race, with goroutine,
+#      fd, and heap counts asserted flat mid-run and zero unaccounted frame
+#      drops.
+echo "== service determinism gate =="
+svc1=$(mktemp)
+svc2=$(mktemp)
+go run ./cmd/experiments -scale quick -seed 1 -workers 1 -run service | grep -v '^\[' > "$svc1"
+go run ./cmd/experiments -scale quick -seed 1 -workers 8 -run service | grep -v '^\[' > "$svc2"
+if ! cmp -s "$svc1" "$svc2"; then
+    echo "sim service reruns differ across worker counts:" >&2
+    diff "$svc1" "$svc2" >&2 || true
+    exit 1
+fi
+
+echo "== tcp service soak (-race) =="
+go test ./internal/backend -race -short -count=1 -run 'TestServiceTCPSoak'
 
 echo "CI OK"
