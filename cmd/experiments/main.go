@@ -5,12 +5,12 @@
 // Usage:
 //
 //	experiments [-scale quick|paper] [-seed N] [-workers K] [-run T1,T2]
-//	            [-backend sim|live|tcp] [-sessions=false]
+//	            [-backend sim|live|tcp] [-sessions=false] [-sim-workers K]
 //	            [-service-rounds N] [-service-rate R] [-service-window W]
 //	            [-service-queue Q] [-service-duration D] [-service-arrivals poisson|bursty]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
 //	             validity tail matrix adversary backends sessions service
-//	             ablations | all]
+//	             scale ablations | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
 // two compose. Quick scale (default) runs reduced node counts and finishes
@@ -26,6 +26,14 @@
 // wall-clock time, so their latency columns are real, non-deterministic
 // durations. The backends target cross-validates protocol outputs across
 // backends regardless of the flag.
+//
+// -sim-workers routes every simulator run through the parallel window
+// executor with that many shard workers (0, the default, keeps the
+// sequential loop). Parallel runs are deterministic across reruns and
+// worker counts but tie-break differently from the sequential loop, so
+// they agree with it statistically (δ-window), not byte for byte. The
+// scale target measures the n=1000+ curve, sequential versus parallel,
+// regardless of the flag.
 //
 // Backends run trials through persistent sessions by default: each engine
 // worker keeps one substrate per cell (the tcp backend's listeners, the
@@ -88,6 +96,7 @@ func run(args []string) error {
 	runFlag := fs.String("run", "", "comma-separated targets to run (adds to positional targets)")
 	backendFlag := fs.String("backend", "sim", "execution backend for the workloads: sim, live, or tcp")
 	sessions := fs.Bool("sessions", true, "reuse backend substrates (listeners, hubs, sim storage) across a cell's trials")
+	simWorkers := fs.Int("sim-workers", 0, "parallel window executor shard workers for sim runs (0 = sequential)")
 	fs.IntVar(&svcFlags.rounds, "service-rounds", svcFlags.rounds, "service target: arrivals to generate")
 	fs.Float64Var(&svcFlags.rate, "service-rate", svcFlags.rate, "service target: arrival rate, rounds per second")
 	fs.IntVar(&svcFlags.window, "service-window", svcFlags.window, "service target: max concurrent in-flight rounds")
@@ -99,6 +108,7 @@ func run(args []string) error {
 	}
 	bench.SetDefaultWorkers(*workers)
 	bench.SetDefaultSessions(*sessions)
+	bench.SetDefaultSimWorkers(*simWorkers)
 	if err := bench.SetDefaultBackend(bench.BackendKind(*backendFlag)); err != nil {
 		return err
 	}
@@ -123,7 +133,8 @@ func run(args []string) error {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
-			"matrix", "adversary", "backends", "sessions", "service", "ablations"}
+			"matrix", "adversary", "backends", "sessions", "service",
+			"scale", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -225,10 +236,16 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return runSessions(scale, seed)
 	case "service":
 		return runService(scale, seed)
+	case "scale":
+		rep, err := bench.ScaleSweep(scale, 8, seed)
+		if err != nil {
+			return "", err
+		}
+		return rep.Text, nil
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, scale, ablations)")
 	}
 }
 

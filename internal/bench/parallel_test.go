@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"delphi/internal/core"
+	"delphi/internal/netadv"
+	"delphi/internal/sim"
+)
+
+// parallelSpec builds the δ-window workload shared by the parallel-window
+// tests: the cross-backend validator's quick cell (n=8, δ=20 around 41000)
+// for one (protocol, adversary) pair.
+func parallelSpec(proto Protocol, adv netadv.Adversary, params core.Params, center, delta float64, seed int64) RunSpec {
+	n := 8
+	f := (n - 1) / 3
+	if proto == ProtoDolev {
+		// Dolev needs n >= 5t+1.
+		f = (n - 1) / 5
+	}
+	return RunSpec{
+		Protocol:  proto,
+		N:         n,
+		F:         f,
+		Env:       sim.AWS(),
+		Seed:      seed,
+		Inputs:    OracleInputs(n, center, delta, seed),
+		Delphi:    params,
+		Adversary: adv,
+	}
+}
+
+// TestParallelWindowAgreement runs every protocol, clean and under the
+// cross-validator's adversary presets, sequentially and with the parallel
+// window executor, and applies the cross-backend δ-window predicates to
+// both executions. Parallel runs are not byte-identical to sequential ones
+// (tie-breaking differs), so this is the statistical contract: agreement
+// within ε, validity within the honest hull, and both executions' means
+// inside one δ-wide window.
+func TestParallelWindowAgreement(t *testing.T) {
+	params := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2}
+	const center, delta = 41000.0, 20.0
+	for _, proto := range []Protocol{ProtoDelphi, ProtoFIN, ProtoAbraham, ProtoDolev} {
+		for _, adv := range crossAdversaries() {
+			t.Run(fmt.Sprintf("%s/%s", proto, adv), func(t *testing.T) {
+				seed := TrialSeed(802, 0)
+				spec := parallelSpec(proto, adv, params, center, delta, seed)
+				seq, err := Run(spec)
+				if err != nil {
+					t.Fatalf("sequential run: %v", err)
+				}
+				spec.SimWorkers = 4
+				par, err := Run(spec)
+				if err != nil {
+					t.Fatalf("parallel run: %v", err)
+				}
+				cell := &CrossCell{
+					Protocol: proto, Adversary: adv, N: spec.N, F: spec.F,
+					Center: center, Delta: delta,
+				}
+				cell.check("seq", seq, params)
+				cell.check("par4", par, params)
+				if gap := math.Abs(mean(seq.Outputs) - mean(par.Outputs)); gap > delta+params.Eps {
+					cell.Failures = append(cell.Failures, fmt.Sprintf(
+						"sequential and parallel means %.3g apart (> δ=%g): no common validity window",
+						gap, delta))
+				}
+				if len(cell.Failures) > 0 {
+					t.Fatalf("δ-window agreement violated:\n  %v", cell.Failures)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWindowDeterminism pins the parallel executor's own guarantee
+// at the harness layer: identical RunStats for a spec across reruns and
+// across worker counts (the per-sender sequence numbers make the event
+// order independent of scheduling).
+func TestParallelWindowDeterminism(t *testing.T) {
+	params := core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2}
+	const center, delta = 41000.0, 20.0
+	adv := netadv.Adversary{Kind: netadv.JitterStorm, Severity: 0.25}
+	spec := parallelSpec(ProtoFIN, adv, params, center, delta, TrialSeed(803, 0))
+	spec.SimWorkers = 4
+	base, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		spec.SimWorkers = workers
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: stats diverged from workers=4 baseline:\n got %+v\nwant %+v",
+				workers, got, base)
+		}
+	}
+}

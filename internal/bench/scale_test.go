@@ -1,0 +1,47 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"delphi/internal/bench"
+)
+
+func TestScaleSweepQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness test")
+	}
+	rep, err := bench.ScaleSweep(bench.Quick, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (n=1000 × workers {0, 4})", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.N != 1000 {
+			t.Fatalf("cell n = %d, want 1000", c.N)
+		}
+		if c.Wall <= 0 {
+			t.Fatalf("cell %q measured no wall time", c.Name)
+		}
+		if c.TotalMsgs == 0 {
+			t.Fatalf("cell %q recorded no messages", c.Name)
+		}
+	}
+	if rep.Cells[0].Workers != 0 || rep.Cells[1].Workers != 4 {
+		t.Fatalf("worker axis = (%d, %d), want (0, 4)", rep.Cells[0].Workers, rep.Cells[1].Workers)
+	}
+	// Both lanes run the same spec, so the protocol outputs must match
+	// message-for-message even though wall times differ.
+	if rep.Cells[0].TotalMsgs != rep.Cells[1].TotalMsgs {
+		t.Fatalf("lanes disagree on message count: %d vs %d",
+			rep.Cells[0].TotalMsgs, rep.Cells[1].TotalMsgs)
+	}
+	if _, ok := rep.Speedup[1000]; !ok {
+		t.Fatal("no speedup recorded for n=1000")
+	}
+	if !strings.Contains(rep.Text, "speedup") {
+		t.Fatalf("report text missing speedup column:\n%s", rep.Text)
+	}
+}

@@ -123,6 +123,10 @@ type Scenario struct {
 	// value is the simulator. Cells on other backends render as
 	// "/be=live" etc. in matrix names.
 	Backend BackendKind
+	// SimWorkers runs every sim-backed trial under the parallel window
+	// executor with that many shard workers (0 = the process default, then
+	// sequential). Renders as "/simw=K" in matrix names.
+	SimWorkers int
 	// Trials is the per-scenario trial count (default 1). Trial i runs at
 	// seed TrialSeed(base, i) with freshly shaped inputs.
 	Trials int
@@ -201,6 +205,7 @@ func (s Scenario) Spec(baseSeed int64, trial int) RunSpec {
 		ByzKind:       s.ByzKind,
 		Adversary:     s.Adversary,
 		Backend:       s.Backend,
+		SimWorkers:    s.SimWorkers,
 	}
 }
 
@@ -259,10 +264,13 @@ type Matrix struct {
 	// (Env describes the simulated testbed and is ignored by the live
 	// backends, which run on the real host).
 	Backends []BackendKind
+	// SimWorkerCounts crosses every cell with the listed sim worker counts
+	// (0 = sequential) — the scale sweeps' sequential-vs-parallel axis.
+	SimWorkerCounts []int
 }
 
 // Scenarios expands the matrix to the cross-product of its axes, naming
-// each cell "env/n=N/δ=D/shape[/crash=C][/byz=B][/adv=A]".
+// each cell "env/n=N/δ=D/shape[/crash=C][/byz=B][/adv=A][/be=B][/simw=K]".
 func (m Matrix) Scenarios() []Scenario {
 	envs := m.Envs
 	if len(envs) == 0 {
@@ -296,6 +304,10 @@ func (m Matrix) Scenarios() []Scenario {
 	if len(backends) == 0 {
 		backends = []BackendKind{m.Base.Backend}
 	}
+	simws := m.SimWorkerCounts
+	if len(simws) == 0 {
+		simws = []int{m.Base.SimWorkers}
+	}
 	var out []Scenario
 	for _, env := range envs {
 		for _, n := range ns {
@@ -305,36 +317,42 @@ func (m Matrix) Scenarios() []Scenario {
 						for _, bz := range byzs {
 							for _, adv := range advs {
 								for _, be := range backends {
-									s := m.Base
-									s.Env = env
-									s.N = n
-									// An explicit base F only makes sense at the
-									// base's n; cells at other sizes re-derive
-									// (N-1)/3.
-									s.F = 0
-									if m.Base.F > 0 && n == m.Base.N {
-										s.F = m.Base.F
+									for _, sw := range simws {
+										s := m.Base
+										s.Env = env
+										s.N = n
+										// An explicit base F only makes sense at the
+										// base's n; cells at other sizes re-derive
+										// (N-1)/3.
+										s.F = 0
+										if m.Base.F > 0 && n == m.Base.N {
+											s.F = m.Base.F
+										}
+										s.Delta = d
+										s.Shape = sh
+										s.Crashes = cr
+										s.Byzantine = bz
+										s.Adversary = adv
+										s.Backend = be
+										s.SimWorkers = sw
+										s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
+										if cr > 0 {
+											s.Name += fmt.Sprintf("/crash=%d", cr)
+										}
+										if bz > 0 {
+											s.Name += fmt.Sprintf("/byz=%d", bz)
+										}
+										if adv.Kind != netadv.None {
+											s.Name += fmt.Sprintf("/adv=%s", adv)
+										}
+										if be != "" && be != BackendSim {
+											s.Name += fmt.Sprintf("/be=%s", be)
+										}
+										if sw > 0 {
+											s.Name += fmt.Sprintf("/simw=%d", sw)
+										}
+										out = append(out, s)
 									}
-									s.Delta = d
-									s.Shape = sh
-									s.Crashes = cr
-									s.Byzantine = bz
-									s.Adversary = adv
-									s.Backend = be
-									s.Name = fmt.Sprintf("%s/n=%d/δ=%g/%s", env.Name, n, d, sh)
-									if cr > 0 {
-										s.Name += fmt.Sprintf("/crash=%d", cr)
-									}
-									if bz > 0 {
-										s.Name += fmt.Sprintf("/byz=%d", bz)
-									}
-									if adv.Kind != netadv.None {
-										s.Name += fmt.Sprintf("/adv=%s", adv)
-									}
-									if be != "" && be != BackendSim {
-										s.Name += fmt.Sprintf("/be=%s", be)
-									}
-									out = append(out, s)
 								}
 							}
 						}

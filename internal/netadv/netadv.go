@@ -130,6 +130,18 @@ func (a Adversary) String() string {
 	return s
 }
 
+// Lookahead returns the guaranteed extra-delay floor of the adversary's
+// rule: a duration the rule provably adds to EVERY message. The parallel
+// simulator widens its conservative window by this hint
+// (sim.WithLookahead), and an overstated value is detected at run time as a
+// causality violation — so the hint must be a floor over all placements,
+// severities, and times, not a typical delay. Every current preset leaves
+// some messages undelayed (untargeted links, healed partitions, zero
+// Pareto samples), so the floor is 0; a future always-on preset (e.g. a
+// uniform WAN stretch) would return its base delay here and buy the
+// parallel mode proportionally wider windows.
+func (a Adversary) Lookahead() time.Duration { return 0 }
+
 // severity returns the delay multiplier.
 func (a Adversary) severity() float64 {
 	if a.Severity > 0 {

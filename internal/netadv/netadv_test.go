@@ -281,3 +281,33 @@ func TestPlacementValidateAndString(t *testing.T) {
 		t.Errorf("scaled seeded adversary renders as %q", got)
 	}
 }
+
+// TestLookaheadIsAFloor pins the Lookahead contract consumed by the
+// parallel simulator: whatever a preset returns must bound EVERY probed
+// delay from below, across placements and severities. (All current presets
+// leave some messages undelayed, so their floor is 0 — asserted exactly so
+// a preset gaining an always-on delay must revisit its hint consciously.)
+func TestLookaheadIsAFloor(t *testing.T) {
+	n, f := 8, 2
+	advs := append(netadv.Presets(), netadv.Adversary{})
+	for _, base := range netadv.Presets() {
+		base.Severity = 0.25
+		base.Placement = netadv.PlaceSeeded
+		advs = append(advs, base)
+	}
+	for _, adv := range advs {
+		look := adv.Lookahead()
+		if look != 0 {
+			t.Errorf("%s: Lookahead() = %v; every current preset leaves some links undelayed", adv, look)
+		}
+		rule := adv.Rule(n, f, 42)
+		if rule == nil {
+			continue
+		}
+		for i, d := range probe(rule, n) {
+			if d < look {
+				t.Fatalf("%s: probe %d delay %v undercuts the declared floor %v", adv, i, d, look)
+			}
+		}
+	}
+}

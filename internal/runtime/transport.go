@@ -28,6 +28,7 @@
 package runtime
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -313,9 +314,15 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 		conn.Close()
 	}()
+	// Buffer the read side: a frame is a tiny 8-byte header plus a small
+	// body, and reading each part straight off the socket costs two
+	// syscalls per frame. One buffered reader amortises those into one
+	// read per ~16 KiB of frames (TestTCPReadsAreBuffered pins the
+	// syscall count).
+	br := bufio.NewReaderSize(conn, 16<<10)
 	var hdr [8]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			// Connection closed between frames: normal peer shutdown, no
 			// frame was in flight, nothing to count.
 			return
@@ -327,7 +334,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			return
 		}
 		buf := t.in.getBuf(int(n))
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		if _, err := io.ReadFull(br, buf); err != nil {
 			// The header arrived but the body did not: a frame was lost
 			// mid-flight (peer died, or Close cut the connection under a
 			// frame). Count it so cross-backend disagreement investigations

@@ -49,6 +49,26 @@ type WANLatency struct {
 }
 
 var _ LatencyModel = (*WANLatency)(nil)
+var _ MinLatencyModel = (*WANLatency)(nil)
+
+// awsMinOneWay is the smallest entry of the one-way matrix (the intra-region
+// floor); it bounds every WANLatency sample from below because the jitter
+// term is non-negative.
+var awsMinOneWay = func() time.Duration {
+	m := awsOneWayMillis[0][0]
+	for _, row := range awsOneWayMillis {
+		for _, v := range row {
+			if v < m {
+				m = v
+			}
+		}
+	}
+	return time.Duration(m * float64(time.Millisecond))
+}()
+
+// MinLatency implements MinLatencyModel: the exponential jitter is additive
+// and non-negative, so no sample undercuts the matrix minimum.
+func (w *WANLatency) MinLatency() time.Duration { return awsMinOneWay }
 
 // regionOf maps node IDs round-robin onto regions.
 func regionOf(id node.ID) Region { return Region(int(id) % int(numRegions)) }
@@ -73,6 +93,11 @@ type LANLatency struct {
 }
 
 var _ LatencyModel = (*LANLatency)(nil)
+var _ MinLatencyModel = (*LANLatency)(nil)
+
+// MinLatency implements MinLatencyModel: jitter is additive and
+// non-negative, so Base is a hard floor.
+func (l *LANLatency) MinLatency() time.Duration { return l.Base }
 
 // Latency implements LatencyModel.
 func (l *LANLatency) Latency(_, _ node.ID, rng *rand.Rand) time.Duration {
@@ -88,6 +113,10 @@ func (l *LANLatency) Latency(_, _ node.ID, rng *rand.Rand) time.Duration {
 type FixedLatency time.Duration
 
 var _ LatencyModel = FixedLatency(0)
+var _ MinLatencyModel = FixedLatency(0)
+
+// MinLatency implements MinLatencyModel.
+func (f FixedLatency) MinLatency() time.Duration { return time.Duration(f) }
 
 // Latency implements LatencyModel.
 func (f FixedLatency) Latency(_, _ node.ID, _ *rand.Rand) time.Duration {

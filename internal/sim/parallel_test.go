@@ -1,0 +1,239 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"delphi/internal/netadv"
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+// TestParallelCompletes sanity-checks the conservative-window executor:
+// under clean and adversarial networks every flood node still reaches its
+// final round, outputs, and halts.
+func TestParallelCompletes(t *testing.T) {
+	for _, advKind := range []netadv.Kind{netadv.None, netadv.SlowF, netadv.Partition, netadv.JitterStorm} {
+		var opts []sim.Option
+		if advKind != netadv.None {
+			adv := netadv.Adversary{Kind: advKind}
+			opts = append(opts, sim.WithDelayRule(adv.Rule(21, 6, 42)))
+		}
+		res := floodResult(t, 21, 42, append(opts, sim.WithParallelWindow(4))...)
+		for i, st := range res.Stats {
+			if !st.Halted || len(st.Output) == 0 {
+				t.Errorf("adv=%q: node %d did not finish (halted=%v outputs=%d)",
+					advKind, i, st.Halted, len(st.Output))
+			}
+		}
+		if res.Events == 0 || res.Time == 0 {
+			t.Errorf("adv=%q: empty accounting", advKind)
+		}
+	}
+}
+
+// TestParallelDeterminism pins the parallel mode's reproducibility
+// guarantee: fixed-seed runs are byte-identical across reruns AND across
+// worker counts (per-sender sequence numbers and per-node RNG streams make
+// the schedule independent of the sharding).
+func TestParallelDeterminism(t *testing.T) {
+	adv := netadv.Adversary{Kind: netadv.JitterStorm, Severity: 0.25}
+	mk := func(workers int) *sim.Result {
+		return floodResult(t, 40, 11,
+			sim.WithDelayRule(adv.Rule(40, 13, 11)),
+			sim.WithParallelWindow(workers))
+	}
+	base := mk(4)
+	for _, workers := range []int{1, 4, 8} {
+		if got := mk(workers); !resultsIdentical(got, base) {
+			t.Errorf("workers=%d diverged from the workers=4 schedule", workers)
+		}
+	}
+}
+
+// TestParallelScratchReuse pins Scratch reuse in parallel mode: reusing one
+// Scratch across parallel runs of different sizes — and interleaved with
+// sequential runs — never changes any run's result.
+func TestParallelScratchReuse(t *testing.T) {
+	scratch := &sim.Scratch{}
+	runs := []struct {
+		n       int
+		seed    int64
+		workers int // 0 = sequential
+	}{
+		{24, 7, 4},
+		{12, 3, 4}, // same worker count, smaller n: arenas rebuilt
+		{24, 7, 0}, // sequential in between must not corrupt parallel arenas
+		{24, 7, 4}, // repeat of run 0: must match exactly
+	}
+	var fresh []*sim.Result
+	for _, rn := range runs {
+		var opts []sim.Option
+		if rn.workers > 0 {
+			opts = append(opts, sim.WithParallelWindow(rn.workers))
+		}
+		fresh = append(fresh, floodResult(t, rn.n, rn.seed, opts...))
+	}
+	for i, rn := range runs {
+		opts := []sim.Option{sim.WithScratch(scratch)}
+		if rn.workers > 0 {
+			opts = append(opts, sim.WithParallelWindow(rn.workers))
+		}
+		got := floodResult(t, rn.n, rn.seed, opts...)
+		if !resultsIdentical(got, fresh[i]) {
+			t.Errorf("run %d (n=%d workers=%d): scratch reuse changed the result", i, rn.n, rn.workers)
+		}
+	}
+}
+
+// TestParallelOverflowHorizon exercises the calendar ring's overflow path:
+// a delay rule that parks messages ~10 s out (beyond the ring horizon at
+// the 1 ms Local lookahead, 8192 windows ≈ 8.2 s) must spill them to the
+// overflow heap and drain them back — with the schedule still independent
+// of the worker count.
+func TestParallelOverflowHorizon(t *testing.T) {
+	farRule := func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+		if from == 0 {
+			return 10 * time.Second
+		}
+		return 0
+	}
+	mk := func(workers int) *sim.Result {
+		procs := make([]node.Process, 9)
+		for i := range procs {
+			procs[i] = &flood{rounds: 3}
+		}
+		r, err := sim.NewRunner(node.Config{N: 9, F: 2}, sim.Local(), 5, procs,
+			sim.WithDelayRule(farRule), sim.WithParallelWindow(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Run()
+	}
+	base := mk(1)
+	if base.Time < 10*time.Second {
+		t.Fatalf("run finished at %v; the 10s-delayed messages were lost", base.Time)
+	}
+	for i, st := range base.Stats {
+		if !st.Halted {
+			t.Errorf("node %d never halted", i)
+		}
+	}
+	if got := mk(3); !resultsIdentical(got, base) {
+		t.Error("overflow drain order depends on worker count")
+	}
+}
+
+// TestLookaheadViolation is the mis-declared-hint table: a WithLookahead
+// hint the DelayRule actually honours must run to completion, while a hint
+// that overstates the rule's delay floor must be detected as a causality
+// violation (an event scheduled inside a committed window) and fail loudly
+// rather than silently diverge.
+func TestLookaheadViolation(t *testing.T) {
+	flat := func(extra time.Duration) sim.DelayRule {
+		return func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+			return extra
+		}
+	}
+	cases := []struct {
+		name      string
+		rule      sim.DelayRule
+		hint      time.Duration
+		wantPanic bool
+	}{
+		{"honest-hint", flat(3 * time.Millisecond), 3 * time.Millisecond, false},
+		{"understated-hint-is-safe", flat(3 * time.Millisecond), time.Millisecond, false},
+		{"hint-overstates-uniform-rule", flat(time.Millisecond), 3 * time.Millisecond, true},
+		{
+			// The sneaky case: the rule honours the hint on every link but
+			// one, so the floor holds for almost all traffic.
+			"hint-broken-on-one-link",
+			func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+				if from == 2 && to == 5 {
+					return 0
+				}
+				return 3 * time.Millisecond
+			},
+			3 * time.Millisecond,
+			true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (res *sim.Result, panicked string) {
+				defer func() {
+					if p := recover(); p != nil {
+						panicked = fmt.Sprint(p)
+					}
+				}()
+				procs := make([]node.Process, 8)
+				for i := range procs {
+					procs[i] = &flood{rounds: 4}
+				}
+				r, err := sim.NewRunner(node.Config{N: 8, F: 2}, sim.Local(), 9, procs,
+					sim.WithDelayRule(tc.rule),
+					sim.WithLookahead(tc.hint),
+					sim.WithParallelWindow(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.Run(), ""
+			}
+			res, panicked := run()
+			if tc.wantPanic {
+				if panicked == "" {
+					t.Fatal("violated lookahead hint went undetected")
+				}
+				if !strings.Contains(panicked, "causality violation") {
+					t.Fatalf("panic %q does not name the causality violation", panicked)
+				}
+				return
+			}
+			if panicked != "" {
+				t.Fatalf("honest hint panicked: %s", panicked)
+			}
+			for i, st := range res.Stats {
+				if !st.Halted {
+					t.Errorf("node %d never halted", i)
+				}
+			}
+		})
+	}
+}
+
+// noFloorLatency is a latency model without a MinLatency declaration.
+type noFloorLatency struct{}
+
+func (noFloorLatency) Latency(_, _ node.ID, _ *rand.Rand) time.Duration { return time.Millisecond }
+
+// TestParallelConfigErrors pins NewRunner's parallel-mode validation.
+func TestParallelConfigErrors(t *testing.T) {
+	procs := make([]node.Process, 4)
+	for i := range procs {
+		procs[i] = &flood{rounds: 1}
+	}
+	cfg := node.Config{N: 4, F: 1}
+	rule := func(at time.Duration, from, to node.ID, m node.Message) time.Duration { return 0 }
+	cases := []struct {
+		name string
+		env  sim.Environment
+		opts []sim.Option
+	}{
+		{"hint without delay rule", sim.Local(), []sim.Option{
+			sim.WithParallelWindow(2), sim.WithLookahead(time.Millisecond)}},
+		{"negative hint", sim.Local(), []sim.Option{
+			sim.WithParallelWindow(2), sim.WithDelayRule(rule), sim.WithLookahead(-time.Millisecond)}},
+		{"no MinLatency floor", sim.Environment{Name: "x", Latency: noFloorLatency{}},
+			[]sim.Option{sim.WithParallelWindow(2)}},
+		{"zero-width lookahead", sim.Environment{Name: "x", Latency: sim.FixedLatency(0)},
+			[]sim.Option{sim.WithParallelWindow(2)}},
+	}
+	for _, tc := range cases {
+		if _, err := sim.NewRunner(cfg, tc.env, 1, procs, tc.opts...); err == nil {
+			t.Errorf("%s: NewRunner accepted an invalid parallel config", tc.name)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"delphi/internal/node"
+)
+
+func TestShrunkCap(t *testing.T) {
+	cases := []struct {
+		cap, peak, want int
+	}{
+		{0, 0, 0},                   // below the floor: untouched
+		{64, 1, 64},                 // below scratchShrinkMin: untouched
+		{128, 100, 128},             // peak above 1/8: retained
+		{128, 16, 64},               // one halving
+		{4096, 50, 256},             // shrinks until peak > cap/8
+		{1 << 20, 0, 64},            // idle buffer collapses to the floor
+		{1 << 20, 1 << 19, 1 << 20}, // hot buffer untouched
+	}
+	for _, tc := range cases {
+		if got := shrunkCap(tc.cap, tc.peak); got != tc.want {
+			t.Errorf("shrunkCap(%d, %d) = %d, want %d", tc.cap, tc.peak, tc.want, tc.want)
+		}
+	}
+}
+
+// pingMsg/ping is a minimal all-to-all protocol for white-box scratch
+// tests (the richer flood protocol lives in the sim_test package).
+type pingMsg struct{ Round int32 }
+
+func (pingMsg) Type() uint8                    { return 0xF1 }
+func (pingMsg) WireSize() int                  { return 48 }
+func (pingMsg) MarshalBinary() ([]byte, error) { return []byte{0}, nil }
+
+type ping struct {
+	env    node.Env
+	rounds int32
+	round  int32
+	heard  []int32
+}
+
+func (p *ping) Init(env node.Env) {
+	p.env = env
+	p.heard = make([]int32, p.rounds)
+	env.Broadcast(pingMsg{Round: 0})
+}
+
+func (p *ping) Deliver(_ node.ID, m node.Message) {
+	pm, ok := m.(pingMsg)
+	if !ok || pm.Round < p.round || pm.Round >= p.rounds {
+		return
+	}
+	p.heard[pm.Round]++
+	for p.round < p.rounds && p.heard[p.round] >= int32(p.env.N()) {
+		p.round++
+		if p.round >= p.rounds {
+			p.env.Output(float64(p.round))
+			p.env.Halt()
+			return
+		}
+		p.env.Broadcast(pingMsg{Round: p.round})
+	}
+}
+
+func runPing(t *testing.T, n int, s *Scratch, opts ...Option) {
+	t.Helper()
+	procs := make([]node.Process, n)
+	for i := range procs {
+		procs[i] = &ping{rounds: 3}
+	}
+	opts = append(opts, WithScratch(s))
+	r, err := NewRunner(node.Config{N: n, F: (n - 1) / 3}, AWS(), 7, procs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Run(); res.Events == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+// TestScratchShrinksAfterLargeRun pins the growth policy fixed for n=1000+
+// sweeps: one big trial in a mixed matrix must not pin its high-water
+// storage for the rest of the sweep. After a large-n run the retained
+// backing arrays shrink (mirroring the runtime inbox-ring rule: halve while
+// peak occupancy fits in an eighth of capacity) as soon as a small run
+// exposes the idle capacity — while steady-state reuse at one size sits
+// inside the hysteresis band and keeps its buffers.
+func TestScratchShrinksAfterLargeRun(t *testing.T) {
+	s := &Scratch{}
+	runPing(t, 12, s)
+	small := s.retainedEvents()
+	if small == 0 {
+		t.Fatal("no retained capacity after first run")
+	}
+	// Steady state at one size: capacity must not thrash.
+	runPing(t, 12, s)
+	if got := s.retainedEvents(); got < small/2 {
+		t.Errorf("steady-state reuse shrank retained capacity %d -> %d", small, got)
+	}
+
+	runPing(t, 192, s)
+	big := s.retainedEvents()
+	if big <= 4*small {
+		t.Fatalf("n=192 run retained %d event slots, not clearly above the small run's %d", big, small)
+	}
+	runPing(t, 12, s)
+	after := s.retainedEvents()
+	if after > big/4 {
+		t.Errorf("after a small run the big run's capacity lingers: %d of %d event slots retained", after, big)
+	}
+
+	// Same policy for the parallel arenas.
+	runPing(t, 192, s, WithParallelWindow(4))
+	bigPar := s.retainedEvents()
+	runPing(t, 12, s, WithParallelWindow(4))
+	afterPar := s.retainedEvents()
+	if afterPar > bigPar/4 {
+		t.Errorf("parallel arenas linger after a small run: %d of %d event slots retained", afterPar, bigPar)
+	}
+}
+
+// TestScratchNodeSlabReset guards the nodes-slab reuse: a run adopting a
+// larger previous run's slab must see zeroed state.
+func TestScratchNodeSlabReset(t *testing.T) {
+	buf := []nodeState{{busyUntil: time.Hour, sendSeq: 9, halted: true}, {uplinkFree: time.Minute}}
+	got := resetNodes(buf, 2)
+	for i, ns := range got {
+		if ns != (nodeState{}) {
+			t.Errorf("slot %d not zeroed: %+v", i, ns)
+		}
+	}
+	if &got[0] != &buf[0] {
+		t.Error("backing array not reused")
+	}
+}

@@ -15,14 +15,21 @@
 //
 // The event loop is built for sweep throughput: the pending-delivery queue
 // is an inlined 4-ary heap over event values (no per-event allocation, no
-// interface boxing through container/heap), each node's Env is allocated
-// once per run, and a delivery is dispatched by a direct Deliver call with
-// no per-event closure. A session-scoped caller can reuse the queue and
-// per-node bookkeeping across runs via Scratch. The pop order of the heap
-// is fully determined by the (time, sequence) total order, so none of this
-// changes a single scheduled delivery: fixed-seed runs are byte-identical
-// to the original container/heap implementation (pinned by
+// interface boxing through container/heap), per-node bookkeeping lives in
+// one contiguous nodeState slab (one cache line of state per node instead
+// of three parallel slices), each node's Env is allocated once per run, and
+// a delivery is dispatched by a direct Deliver call with no per-event
+// closure. A session-scoped caller can reuse the queue and per-node
+// bookkeeping across runs via Scratch. The pop order of the heap is fully
+// determined by the (time, sequence) total order, so none of this changes a
+// single scheduled delivery: fixed-seed runs are byte-identical to the
+// original container/heap implementation (pinned by
 // bench.TestSimGoldenByteIdentity).
+//
+// For runs at n=1000+ the sequential loop is no longer the ceiling: an
+// opt-in conservative-window parallel mode (WithParallelWindow) shards the
+// nodes across a worker pool and executes each minimum-network-delay window
+// of causally independent events concurrently; see parallel.go.
 package sim
 
 import (
@@ -53,10 +60,94 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
+// eventHeap is an inlined 4-ary min-heap of events ordered by (at, seq).
+// It backs the sequential runner's pending queue and each parallel shard's
+// beyond-horizon overflow; the value layout and the manual sift loops are
+// what keep heap maintenance allocation-free.
+type eventHeap []event
+
+// push adds e to the heap.
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q[i].before(&q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release the message reference
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return top
+	}
+	// Sift the former tail down from the root, always descending into the
+	// smallest of up to four children.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q[j].before(&q[m]) {
+				m = j
+			}
+		}
+		if !q[m].before(&last) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = last
+	return top
+}
+
+// nodeState is one node's hot bookkeeping, packed into a single slab entry
+// so a delivery touches one cache line of per-node state instead of three
+// parallel slices. sendSeq is used only by the parallel mode (per-sender
+// sequence numbers keep event ordering independent of shard count).
+type nodeState struct {
+	busyUntil time.Duration
+	// uplinkFree tracks when the node's uplink next idles (bandwidth
+	// serialization).
+	uplinkFree time.Duration
+	sendSeq    uint64
+	halted     bool
+}
+
 // LatencyModel samples one-way network latency between two nodes.
 type LatencyModel interface {
 	// Latency returns the propagation delay from one node to another.
 	Latency(from, to node.ID, rng *rand.Rand) time.Duration
+}
+
+// MinLatencyModel is implemented by latency models that can declare a hard
+// lower bound on every latency they will ever sample. The parallel runner
+// derives its conservative-window lookahead from this floor: events less
+// than one floor apart are causally independent across nodes. A model whose
+// MinLatency overstates the true minimum makes the parallel runner fail
+// loudly on the first violation rather than silently diverge.
+type MinLatencyModel interface {
+	MinLatency() time.Duration
 }
 
 // CostModel converts abstract compute costs into virtual CPU time.
@@ -187,20 +278,71 @@ func (r *Result) Outputs(ids []node.ID) []any {
 type DelayRule func(at time.Duration, from, to node.ID, m node.Message) time.Duration
 
 // Scratch is a Runner's reusable storage: the event queue's backing array
-// (the freelist that replaces per-event allocation entirely) and the
-// per-node bookkeeping slices. A session-scoped caller hands the same
-// Scratch to consecutive NewRunner calls so a thousand-trial sweep performs
-// the queue's growth allocations once instead of once per trial. A Scratch
-// must not be shared by concurrently running Runners; reuse never changes
-// results (every buffer is fully reset) — only allocation counts.
+// (the freelist that replaces per-event allocation entirely), the per-node
+// bookkeeping slab, and — for parallel runs — the per-shard calendar
+// arenas. A session-scoped caller hands the same Scratch to consecutive
+// NewRunner calls so a thousand-trial sweep performs the growth allocations
+// once instead of once per trial. A Scratch must not be shared by
+// concurrently running Runners; reuse never changes results (every buffer
+// is fully reset) — only allocation counts.
+//
+// Retained capacity is bounded, not monotone: after each run every backing
+// array whose peak occupancy fit in an eighth of its capacity is halved
+// (repeatedly, down to scratchShrinkMin), mirroring the runtime inbox-ring
+// rule. A single n=1000+ trial in a mixed matrix therefore stops pinning
+// its high-water storage once the sweep returns to paper-scale cells, while
+// steady-state sweeps sit inside the 8x hysteresis band and never thrash.
 type Scratch struct {
-	queue      []event
-	batch      []event
-	busyUntil  []time.Duration
-	uplinkFree []time.Duration
-	halted     []bool
-	outMsgs    []outMsg
-	rng        *rand.Rand
+	queue   eventHeap
+	batch   []event
+	nodes   []nodeState
+	outMsgs []outMsg
+	rng     *rand.Rand
+	par     *parScratch
+}
+
+// scratchShrinkMin is the smallest backing array the post-run shrink pass
+// will halve, mirroring the runtime inbox rule: shrink at ≤1/8 occupancy
+// while growth doubles at full leaves a 4x hysteresis band.
+const scratchShrinkMin = 128
+
+// shrunkCap returns the capacity a retained backing array should keep given
+// its peak occupancy this run.
+func shrunkCap(c, peak int) int {
+	for c >= scratchShrinkMin && peak <= c/8 {
+		c /= 2
+	}
+	return c
+}
+
+// shrunk returns buf emptied, reallocated to a smaller backing array when
+// this run's peak occupancy left it mostly idle.
+func shrunk[T any](buf []T, peak int) []T {
+	if c := shrunkCap(cap(buf), peak); c < cap(buf) {
+		return make([]T, 0, c)
+	}
+	return buf[:0]
+}
+
+// retainedEvents reports the scratch's total retained event-slot capacity
+// (queue, batch, and parallel arenas); it is the shrink policy's observable
+// for tests.
+func (s *Scratch) retainedEvents() int {
+	total := cap(s.queue) + cap(s.batch)
+	if s.par != nil {
+		for _, sh := range s.par.shards {
+			total += cap(sh.overflow) + cap(sh.sortBuf)
+			for _, b := range sh.ring {
+				total += cap(b)
+			}
+			for p := range sh.staged {
+				for _, b := range sh.staged[p] {
+					total += cap(b)
+				}
+			}
+		}
+	}
+	return total
 }
 
 // Runner drives a set of processes to completion in virtual time.
@@ -210,23 +352,27 @@ type Runner struct {
 	rng   *rand.Rand
 	procs []node.Process
 
-	queue     []event // 4-ary min-heap ordered by (at, seq)
+	queue     eventHeap // pending deliveries ordered by (at, seq)
+	queuePeak int
 	batch     []event // batched-delivery scratch
+	batchPeak int
 	seq       uint64
 	now       time.Duration
-	busyUntil []time.Duration
-	// uplinkFree tracks when each node's uplink next idles (bandwidth
-	// serialization).
-	uplinkFree []time.Duration
-	stats      []NodeStats
-	halted     []bool
-	live       int // processes neither nil nor halted; 0 ends the run
-	envs       []simEnv
-	delayRule  DelayRule
-	maxTime    time.Duration
-	events     int
-	batched    bool
-	scratch    *Scratch
+	nodes     []nodeState // per-node bookkeeping slab
+	stats     []NodeStats
+	live      int // processes neither nil nor halted; 0 ends the run
+	envs      []simEnv
+	delayRule DelayRule
+	maxTime   time.Duration
+	events    int
+	batched   bool
+	scratch   *Scratch
+
+	// Parallel-mode knobs (WithParallelWindow / WithLookahead) and the
+	// materialised parallel runner; nil means the sequential loop.
+	parWorkers int
+	extraLook  time.Duration
+	par        *parRunner
 
 	// Hot-path constants hoisted out of the per-message dispatch: the
 	// environment's MAC overhead and whether the uplink/delay-rule
@@ -238,6 +384,7 @@ type Runner struct {
 	curNode    node.ID
 	curCharge  node.ComputeCost
 	curOutMsgs []outMsg
+	outPeak    int
 	curOutput  bool
 	curHalt    bool
 	inStep     bool
@@ -269,7 +416,8 @@ func WithMaxTime(d time.Duration) Option {
 // partition heal releasing a batch) stays cache-resident. Delivery order
 // within a wave is still (time, seq) order — newly scheduled events always
 // carry later sequence numbers than the drained wave — so batched runs are
-// byte-identical to unbatched runs at every seed.
+// byte-identical to unbatched runs at every seed. The parallel mode ignores
+// this option: its window executor already processes whole time windows.
 func WithBatchedDelivery() Option {
 	return func(rn *Runner) { rn.batched = true }
 }
@@ -279,11 +427,37 @@ func WithScratch(s *Scratch) Option {
 	return func(rn *Runner) { rn.scratch = s }
 }
 
-// resetDurations returns buf zeroed and resized to n, reusing its backing
+// WithParallelWindow enables conservative-window parallel execution on a
+// pool of `workers` shard workers. The runner partitions the nodes into
+// contiguous shards, derives a lookahead bound L from the environment's
+// minimum link delay (plus any WithLookahead hint), and executes each
+// [T, T+L) window of events concurrently — events inside one lookahead
+// window are causally independent across nodes, the classic conservative
+// PDES argument. See Runner.Run and README "Parallel simulation" for which
+// guarantees survive: parallel runs are deterministic (byte-identical
+// across reruns AND across worker counts), but follow a different
+// tie-breaking schedule and RNG stream split than the sequential runner, so
+// sequential-vs-parallel agreement is δ-window-statistical, not
+// byte-identical. workers ≤ 0 keeps the sequential loop.
+func WithParallelWindow(workers int) Option {
+	return func(rn *Runner) { rn.parWorkers = workers }
+}
+
+// WithLookahead declares that the installed DelayRule adds at least `extra`
+// delay to every message, widening the parallel mode's lookahead window to
+// (minimum link delay + extra). The hint is a promise, not a measurement:
+// if any message violates it, the parallel runner detects the causality
+// violation (an event scheduled inside a committed window) and panics
+// rather than silently diverging. Sequential runs ignore the hint.
+func WithLookahead(extra time.Duration) Option {
+	return func(rn *Runner) { rn.extraLook = extra }
+}
+
+// resetNodes returns buf zeroed and resized to n, reusing its backing
 // array when large enough.
-func resetDurations(buf []time.Duration, n int) []time.Duration {
+func resetNodes(buf []nodeState, n int) []nodeState {
 	if cap(buf) < n {
-		return make([]time.Duration, n)
+		return make([]nodeState, n)
 	}
 	buf = buf[:n]
 	clear(buf)
@@ -318,24 +492,15 @@ func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Proces
 		// with the stats, and processes may retain their Env beyond the run.
 		r.queue = s.queue[:0]
 		r.batch = s.batch[:0]
-		r.busyUntil = resetDurations(s.busyUntil, cfg.N)
-		r.uplinkFree = resetDurations(s.uplinkFree, cfg.N)
+		r.nodes = resetNodes(s.nodes, cfg.N)
 		r.curOutMsgs = s.outMsgs[:0]
-		if cap(s.halted) >= cfg.N {
-			r.halted = s.halted[:cfg.N]
-			clear(r.halted)
-		} else {
-			r.halted = make([]bool, cfg.N)
-		}
 		if s.rng != nil {
 			r.rng = s.rng
 			r.rng.Seed(seed)
 		}
 	}
-	if r.busyUntil == nil {
-		r.busyUntil = make([]time.Duration, cfg.N)
-		r.uplinkFree = make([]time.Duration, cfg.N)
-		r.halted = make([]bool, cfg.N)
+	if r.nodes == nil {
+		r.nodes = make([]nodeState, cfg.N)
 	}
 	if r.rng == nil {
 		r.rng = rand.New(rand.NewSource(seed))
@@ -343,71 +508,22 @@ func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Proces
 			r.scratch.rng = r.rng
 		}
 	}
-	r.envs = make([]simEnv, cfg.N)
-	for i := range r.envs {
-		r.envs[i] = simEnv{r: r, id: node.ID(i)}
-	}
 	for _, p := range procs {
 		if p != nil {
 			r.live++
 		}
 	}
+	if r.parWorkers > 0 {
+		if err := r.setupParallel(seed); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	r.envs = make([]simEnv, cfg.N)
+	for i := range r.envs {
+		r.envs[i] = simEnv{r: r, id: node.ID(i)}
+	}
 	return r, nil
-}
-
-// pushEvent adds e to the 4-ary heap.
-func (r *Runner) pushEvent(e event) {
-	q := append(r.queue, e)
-	i := len(q) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !q[i].before(&q[p]) {
-			break
-		}
-		q[i], q[p] = q[p], q[i]
-		i = p
-	}
-	r.queue = q
-}
-
-// popEvent removes and returns the earliest event.
-func (r *Runner) popEvent() event {
-	q := r.queue
-	top := q[0]
-	n := len(q) - 1
-	last := q[n]
-	q[n] = event{} // release the message reference
-	q = q[:n]
-	r.queue = q
-	if n == 0 {
-		return top
-	}
-	// Sift the former tail down from the root, always descending into the
-	// smallest of up to four children.
-	i := 0
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if q[j].before(&q[m]) {
-				m = j
-			}
-		}
-		if !q[m].before(&last) {
-			break
-		}
-		q[i] = q[m]
-		i = m
-	}
-	q[i] = last
-	return top
 }
 
 // simEnv is the node.Env implementation handed to each process. One is
@@ -440,8 +556,8 @@ func (e *simEnv) Output(v any) {
 }
 
 func (e *simEnv) Halt() {
-	if !e.r.halted[e.id] {
-		e.r.halted[e.id] = true
+	if !e.r.nodes[e.id].halted {
+		e.r.nodes[e.id].halted = true
 		e.r.stats[e.id].Halted = true
 		e.r.live--
 		if e.r.inStep && e.id == e.r.curNode {
@@ -465,29 +581,33 @@ func (r *Runner) stageSend(from, to node.ID, m node.Message) {
 	}
 	// Sends outside a step (shouldn't happen for well-behaved processes)
 	// are dispatched at the node's current busy time.
-	r.dispatch(from, to, m, r.busyUntil[from])
+	r.dispatch(from, to, m, r.nodes[from].busyUntil)
 }
 
 // dispatch applies bandwidth serialization and latency and enqueues the
 // delivery event.
 func (r *Runner) dispatch(from, to node.ID, m node.Message, ready time.Duration) {
 	size := m.WireSize() + r.macBytes
+	ns := &r.nodes[from]
 	start := ready
-	if r.uplinkFree[from] > start {
-		start = r.uplinkFree[from]
+	if ns.uplinkFree > start {
+		start = ns.uplinkFree
 	}
 	var tx time.Duration
 	if r.hasUplink {
 		tx = time.Duration(float64(size) / r.env.UplinkBytesPerSec * float64(time.Second))
 	}
-	r.uplinkFree[from] = start + tx
+	ns.uplinkFree = start + tx
 	lat := r.env.Latency.Latency(from, to, r.rng)
 	at := start + tx + lat
 	if r.delayRule != nil {
 		at += r.delayRule(start+tx, from, to, m)
 	}
 	r.seq++
-	r.pushEvent(event{at: at, seq: r.seq, from: from, to: to, msg: m})
+	r.queue.push(event{at: at, seq: r.seq, from: from, to: to, msg: m})
+	if len(r.queue) > r.queuePeak {
+		r.queuePeak = len(r.queue)
+	}
 	st := &r.stats[from]
 	st.MsgsSent++
 	st.BytesSent += int64(size)
@@ -508,22 +628,26 @@ func (r *Runner) beginStep(id node.ID) {
 // endStep charges the step's compute starting at virtual time t (plus the
 // base delivery cost) and flushes staged sends.
 func (r *Runner) endStep(id node.ID, t, base time.Duration) {
+	ns := &r.nodes[id]
 	start := t
-	if r.busyUntil[id] > start {
-		start = r.busyUntil[id]
+	if ns.busyUntil > start {
+		start = ns.busyUntil
 	}
 	dur := base + r.env.Cost.Cost(r.curCharge)
 	r.stats[id].Compute = r.stats[id].Compute.Add(r.curCharge)
-	r.busyUntil[id] = start + dur
+	ns.busyUntil = start + dur
 	if r.curOutput {
-		r.stats[id].OutputAt = r.busyUntil[id]
+		r.stats[id].OutputAt = ns.busyUntil
 	}
 	if r.curHalt {
-		r.stats[id].HaltedAt = r.busyUntil[id]
+		r.stats[id].HaltedAt = ns.busyUntil
 	}
 	// Flush sends: they leave the node once processing completes.
+	if len(r.curOutMsgs) > r.outPeak {
+		r.outPeak = len(r.curOutMsgs)
+	}
 	for _, om := range r.curOutMsgs {
-		r.dispatch(id, om.to, om.msg, r.busyUntil[id])
+		r.dispatch(id, om.to, om.msg, ns.busyUntil)
 	}
 	r.curOutMsgs = r.curOutMsgs[:0]
 	r.inStep = false
@@ -537,7 +661,7 @@ func (r *Runner) deliver(e *event) bool {
 		return false
 	}
 	to := e.to
-	if r.halted[to] || r.procs[to] == nil {
+	if r.nodes[to].halted || r.procs[to] == nil {
 		return true
 	}
 	r.events++
@@ -552,22 +676,26 @@ func (r *Runner) deliver(e *event) bool {
 // Run executes the simulation until the event queue drains, all processes
 // halt, or the virtual-time bound is hit.
 func (r *Runner) Run() *Result {
-	// Initialise all processes at t=0.
-	for i, p := range r.procs {
-		if p == nil {
-			continue
-		}
-		r.beginStep(node.ID(i))
-		p.Init(&r.envs[i])
-		r.endStep(node.ID(i), 0, 0)
-	}
-	if r.batched {
-		r.runBatched()
+	if r.par != nil {
+		r.runParallel()
 	} else {
-		for len(r.queue) > 0 {
-			e := r.popEvent()
-			if !r.deliver(&e) {
-				break
+		// Initialise all processes at t=0.
+		for i, p := range r.procs {
+			if p == nil {
+				continue
+			}
+			r.beginStep(node.ID(i))
+			p.Init(&r.envs[i])
+			r.endStep(node.ID(i), 0, 0)
+		}
+		if r.batched {
+			r.runBatched()
+		} else {
+			for len(r.queue) > 0 {
+				e := r.queue.pop()
+				if !r.deliver(&e) {
+					break
+				}
 			}
 		}
 	}
@@ -577,18 +705,20 @@ func (r *Runner) Run() *Result {
 		res.TotalMsgs += r.stats[i].MsgsSent
 	}
 	if s := r.scratch; s != nil {
-		// Hand the (grown) buffers back for the next run. Remaining events
-		// and the staged-send buffer's capacity region hold message
-		// references; drop them so the scratch retains only bare storage.
+		// Hand the buffers back for the next run, shrunk where this run's
+		// peak occupancy left them mostly idle. Remaining events and the
+		// staged-send buffer's capacity region hold message references;
+		// drop them so the scratch retains only bare storage.
 		clear(r.queue)
 		clear(r.batch)
 		clear(r.curOutMsgs[:cap(r.curOutMsgs)])
-		s.queue = r.queue[:0]
-		s.batch = r.batch[:0]
-		s.busyUntil = r.busyUntil
-		s.uplinkFree = r.uplinkFree
-		s.halted = r.halted
-		s.outMsgs = r.curOutMsgs[:0]
+		s.queue = shrunk(r.queue, r.queuePeak)
+		s.batch = shrunk(r.batch, r.batchPeak)
+		s.nodes = shrunk(r.nodes, r.cfg.N)
+		s.outMsgs = shrunk(r.curOutMsgs, r.outPeak)
+		if r.par != nil {
+			r.par.handback(s)
+		}
 	}
 	return res
 }
@@ -600,7 +730,10 @@ func (r *Runner) runBatched() {
 		at := r.queue[0].at
 		r.batch = r.batch[:0]
 		for len(r.queue) > 0 && r.queue[0].at == at {
-			r.batch = append(r.batch, r.popEvent())
+			r.batch = append(r.batch, r.queue.pop())
+		}
+		if len(r.batch) > r.batchPeak {
+			r.batchPeak = len(r.batch)
 		}
 		for i := range r.batch {
 			if !r.deliver(&r.batch[i]) {

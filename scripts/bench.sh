@@ -2,25 +2,30 @@
 # Machine-readable performance trajectory for the Delphi reproduction.
 #
 # Runs the pinned regression benchmarks — BenchmarkSimCore (simulator core:
-# ns/event and allocs/event per size × adversary), BenchmarkTCPCellSetup
-# (per-trial tcp setup cost: persistent session vs per-trial binds/dials),
-# BenchmarkTCPFrameThroughput (live/tcp frame hot path: frames/sec with
-# per-step batching vs one-write-per-message, measured as paired alternating
-# trials so host drift cannot bias either lane), and the continuous-service
-# benchmarks (BenchmarkServiceSim / BenchmarkServiceTCP: service-mode
-# rounds/sec and p99 subscriber staleness on the deterministic sim model and
-# on a real multiplexed tcp session) — and writes the numbers to
-# BENCH_7.json so perf regressions are diffable across PRs.
+# ns/event and allocs/event per size × adversary), BenchmarkSimParallel
+# (the n=400/1000/2000 scale curve: sequential vs 8-worker parallel window
+# ns/event and their speedup, as paired alternating lanes with a forced
+# collection between them so neither lane's garbage lands on the other's
+# clock), BenchmarkTCPCellSetup (per-trial tcp setup cost: persistent
+# session vs per-trial binds/dials), BenchmarkTCPFrameThroughput (live/tcp
+# frame hot path: frames/sec with per-step batching vs
+# one-write-per-message, measured as paired alternating trials so host
+# drift cannot bias either lane), and the continuous-service benchmarks
+# (BenchmarkServiceSim / BenchmarkServiceTCP: service-mode rounds/sec and
+# p99 subscriber staleness on the deterministic sim model and on a real
+# multiplexed tcp session) — and writes the numbers to BENCH_8.json so
+# perf regressions are diffable across PRs.
 #
 # Usage: scripts/bench.sh [output.json]
-#   SIM_BENCHTIME (default 1s), TCP_BENCHTIME (default 5x),
-#   FRAME_BENCHTIME (default 6x), and SERVICE_BENCHTIME (default 1x) tune
-#   runtime.
+#   SIM_BENCHTIME (default 1s), PAR_BENCHTIME (default 2x),
+#   TCP_BENCHTIME (default 5x), FRAME_BENCHTIME (default 6x), and
+#   SERVICE_BENCHTIME (default 1x) tune runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 sim_benchtime="${SIM_BENCHTIME:-1s}"
+par_benchtime="${PAR_BENCHTIME:-2x}"
 tcp_benchtime="${TCP_BENCHTIME:-5x}"
 frame_benchtime="${FRAME_BENCHTIME:-6x}"
 service_benchtime="${SERVICE_BENCHTIME:-1x}"
@@ -29,6 +34,11 @@ echo "== BenchmarkSimCore (${sim_benchtime}) =="
 sim_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimCore \
     -benchtime "$sim_benchtime" -count=1 -timeout 900s 2>/dev/null)
 echo "$sim_out" | grep BenchmarkSimCore
+
+echo "== BenchmarkSimParallel (${par_benchtime}) =="
+par_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimParallel \
+    -benchtime "$par_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$par_out" | grep BenchmarkSimParallel
 
 echo "== BenchmarkTCPCellSetup (${tcp_benchtime}) =="
 tcp_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPCellSetup \
@@ -50,7 +60,7 @@ echo "$svc_tcp_out" | grep BenchmarkServiceTCP
 
 {
     printf '{\n'
-    printf '  "issue": 7,\n'
+    printf '  "issue": 8,\n'
     printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "host": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
@@ -71,6 +81,30 @@ echo "$svc_tcp_out" | grep BenchmarkServiceTCP
                 if ($(i+1) == "events/run") epr = $i
             }
             lines[++cnt] = sprintf("    {\"n\": %s, \"adversary\": \"%s\", \"ns_per_event\": %s, \"allocs_per_event\": %s, \"events_per_run\": %s}", n, adv, nse, ape, epr)
+        }
+        END {
+            for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+        }'
+    printf '  ],\n'
+
+    # Scale curve: sequential vs 8-worker parallel window, per n. Both
+    # lanes and the speedup come out of one paired benchmark, so the three
+    # numbers are consistent by construction.
+    printf '  "sim_parallel": [\n'
+    echo "$par_out" | awk '
+        /^BenchmarkSimParallel\// {
+            name = $1
+            sub(/^BenchmarkSimParallel\//, "", name)
+            sub(/-[0-9]+$/, "", name)
+            n = name; sub(/^n=/, "", n)
+            seq = par = spd = epr = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "seq_ns/event") seq = $i
+                if ($(i+1) == "par_ns/event") par = $i
+                if ($(i+1) == "parallel_speedup") spd = $i
+                if ($(i+1) == "events/run") epr = $i
+            }
+            lines[++cnt] = sprintf("    {\"n\": %s, \"workers\": 8, \"seq_ns_per_event\": %s, \"par_ns_per_event\": %s, \"parallel_speedup\": %s, \"events_per_run\": %s}", n, seq, par, spd, epr)
         }
         END {
             for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
@@ -160,3 +194,16 @@ awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
     exit 1
 }
 echo "tcp_batch_speedup $speedup >= 1.5"
+
+# The parallel window executor's acceptance bar: the n=1000 cell must run
+# >= 1.8x faster than the sequential loop at 8 workers. On a single core
+# that margin comes entirely from the calendar queue's cache locality (the
+# sequential loop walks a ~1M-event heap per pop); with more cores the
+# shard workers add real parallelism on top.
+par_speedup=$(awk -F'"parallel_speedup": ' '
+    /"n": 1000,/ { split($2, a, /[,}]/); print a[1] }' "$out")
+awk -v s="$par_speedup" 'BEGIN { exit !(s >= 1.8) }' || {
+    echo "FAIL: parallel_speedup at n=1000 is $par_speedup < 1.8" >&2
+    exit 1
+}
+echo "parallel_speedup at n=1000 is $par_speedup >= 1.8"

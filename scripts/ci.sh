@@ -58,6 +58,19 @@ fi
 echo "== sim byte-identity gate =="
 go test ./internal/bench -run TestSimGoldenByteIdentity -count=1
 
+# The parallel window executor carries its own two guarantees, gated under
+# -race on every run: (1) worker-count determinism — a parallel run is
+# byte-identical across reruns and across 1/4/8 workers — and (2) δ-window
+# agreement with the sequential loop on the quick cross-validation cell
+# (every protocol, clean and under adversary presets). The sequential
+# golden byte-identity gate above is untouched: parallel mode is opt-in
+# and tie-breaks differently by construction.
+echo "== parallel-sim gate (-race) =="
+go test ./internal/sim -race -count=1 \
+    -run 'TestParallelCompletes|TestParallelDeterminism|TestParallelScratchReuse|TestParallelOverflowHorizon|TestLookaheadViolation'
+go test ./internal/bench -race -count=1 \
+    -run 'TestParallelWindowAgreement|TestParallelWindowDeterminism'
+
 # The execution-backend axis is exercised on every run (including -short):
 # the cross-backend validator runs every protocol on the simulator AND a
 # live goroutine cluster from identical specs — clean and under netadv
