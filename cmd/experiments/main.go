@@ -8,9 +8,10 @@
 //	            [-backend sim|live|tcp] [-sessions=false] [-sim-workers K]
 //	            [-service-rounds N] [-service-rate R] [-service-window W]
 //	            [-service-queue Q] [-service-duration D] [-service-arrivals poisson|bursty]
+//	            [-trace out.json] [-metrics out|-] [-pprof addr]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
 //	             validity tail matrix adversary backends sessions service
-//	             scale ablations | all]
+//	             trace scale ablations | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
 // two compose. Quick scale (default) runs reduced node counts and finishes
@@ -51,14 +52,28 @@
 // backend the report is deterministic (byte-identical across reruns and
 // worker counts); on live/tcp it is a real wall-clock soak, optionally
 // capped by -service-duration.
+//
+// Observability: -trace attaches a recorder to the instrumented targets
+// (service, trace) and writes everything captured as Chrome trace-event
+// JSON — load it in Perfetto or chrome://tracing. Protocol phases land on
+// per-node tracks, the service's round lifecycle on a "service" track.
+// -metrics writes the run's metrics-registry snapshot ("-" for text on
+// stdout, a *.json path for JSON, any other path for text). The trace
+// target runs one instrumented simulator trial; its trace bytes are
+// identical across reruns and -sim-workers counts. -pprof serves
+// net/http/pprof on the given address for profiling live runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
+
+	// Serve profiling endpoints on the -pprof address.
+	_ "net/http/pprof"
 
 	// Register the live execution backends (live, tcp) with bench.
 	_ "delphi/internal/backend"
@@ -67,6 +82,7 @@ import (
 	"delphi/internal/core"
 	"delphi/internal/dist"
 	"delphi/internal/feeds"
+	"delphi/internal/obs"
 	"delphi/internal/sim"
 )
 
@@ -80,6 +96,11 @@ var svcFlags = struct {
 	duration time.Duration
 	arrivals string
 }{rounds: 200, rate: 100, window: 4, queue: 16, arrivals: "poisson"}
+
+// obsRec is the run's shared recorder, created when -trace or -metrics asks
+// for one; the instrumented targets (service, trace) attach it. Nil keeps
+// every hook a free no-op.
+var obsRec *obs.Recorder
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -103,8 +124,20 @@ func run(args []string) error {
 	fs.IntVar(&svcFlags.queue, "service-queue", svcFlags.queue, "service target: waiting-room bound; overflow is shed")
 	fs.DurationVar(&svcFlags.duration, "service-duration", svcFlags.duration, "service target: wall-clock cap on a live run (0 = none)")
 	fs.StringVar(&svcFlags.arrivals, "service-arrivals", svcFlags.arrivals, "service target: interarrival law, poisson or bursty")
+	traceFlag := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the instrumented targets")
+	metricsFlag := fs.String("metrics", "", "write the metrics snapshot: '-' for text on stdout, *.json for JSON, else text to the path")
+	pprofFlag := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofFlag != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "experiments: pprof:", http.ListenAndServe(*pprofFlag, nil))
+		}()
+	}
+	obsRec = nil
+	if *traceFlag != "" || *metricsFlag != "" {
+		obsRec = obs.New()
 	}
 	bench.SetDefaultWorkers(*workers)
 	bench.SetDefaultSessions(*sessions)
@@ -134,7 +167,7 @@ func run(args []string) error {
 		targets = []string{"fig4", "fig5", "table1", "table2", "table3",
 			"fig6a", "fig6b", "fig6c", "fig7", "validity", "tail",
 			"matrix", "adversary", "backends", "sessions", "service",
-			"scale", "ablations"}
+			"trace", "scale", "ablations"}
 	}
 
 	for _, target := range targets {
@@ -145,6 +178,48 @@ func run(args []string) error {
 		}
 		fmt.Println(strings.TrimRight(text, "\n"))
 		fmt.Printf("[%s completed in %s]\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+	return writeObs(obsRec, *traceFlag, *metricsFlag)
+}
+
+// writeObs renders what the run's recorder captured: the trace as Chrome
+// trace-event JSON, the metrics snapshot as text or JSON by path.
+func writeObs(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace %s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("[trace: %d events -> %s]\n", rec.EventCount(), tracePath)
+	}
+	if metricsPath != "" {
+		snap := rec.Snapshot()
+		if metricsPath == "-" {
+			return snap.WriteText(os.Stdout)
+		}
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		write := snap.WriteText
+		if strings.HasSuffix(metricsPath, ".json") {
+			write = snap.WriteJSON
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write metrics %s: %w", metricsPath, err)
+		}
+		return f.Close()
 	}
 	return nil
 }
@@ -236,6 +311,8 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return runSessions(scale, seed)
 	case "service":
 		return runService(scale, seed)
+	case "trace":
+		return runTrace(scale, seed)
 	case "scale":
 		rep, err := bench.ScaleSweep(scale, 8, seed)
 		if err != nil {
@@ -245,7 +322,7 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 	case "ablations":
 		return runAblations(seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, scale, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, trace, scale, ablations)")
 	}
 }
 
@@ -378,6 +455,7 @@ func runService(scale bench.Scale, seed int64) (string, error) {
 			Jitter: dist.Lognormal{Mu: 2, Sigma: 0.5},
 		},
 		Representatives: 8,
+		Obs:             obsRec,
 	}
 	switch svcFlags.arrivals {
 	case "", "poisson":
@@ -391,6 +469,48 @@ func runService(scale bench.Scale, seed int64) (string, error) {
 		return "", err
 	}
 	return rep.Text(), nil
+}
+
+// runTrace runs one instrumented simulator trial: protocol phase spans land
+// on per-node virtual-clock tracks, driver flushes and sim internals on
+// their own, and the metrics registry collects the counters. It prints the
+// metrics snapshot (deterministic on the simulator); -trace captures the
+// spans. Without -trace or -metrics it still runs, on its own recorder, so
+// the instrumented path is exercised either way. With -sim-workers K the
+// trial goes through the parallel executor; the trace bytes are identical
+// at any K — scripts/ci.sh gates exactly that.
+func runTrace(scale bench.Scale, seed int64) (string, error) {
+	rec := obsRec
+	if rec == nil {
+		rec = obs.New()
+	}
+	n := 8
+	if scale != bench.Quick {
+		n = 16
+	}
+	spec := bench.RunSpec{
+		Protocol: bench.ProtoDelphi,
+		N:        n,
+		F:        (n - 1) / 3,
+		Env:      sim.AWS(),
+		Seed:     seed,
+		Inputs:   bench.OracleInputs(n, 41000, 20, seed),
+		Delphi:   core.Params{S: 0, E: 100000, Rho0: 2, Delta: 64, Eps: 2},
+		Obs:      rec,
+	}
+	st, err := bench.Run(spec)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace — Delphi n=%d on the simulator: %d trace events\n", n, rec.EventCount())
+	b.WriteString("metrics:\n")
+	for _, m := range st.Metrics {
+		line := &strings.Builder{}
+		_ = obs.Metrics{m}.WriteText(line)
+		b.WriteString("  " + line.String())
+	}
+	return b.String(), nil
 }
 
 // runMatrix demonstrates the scenario matrix: Delphi across both testbeds,

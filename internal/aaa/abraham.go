@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/rbc"
 	"delphi/internal/wire"
 )
@@ -52,13 +53,15 @@ type roundData struct {
 // delivered), and updates its state to the midpoint of the t-trimmed
 // delivered values.
 type Abraham struct {
-	cfg    AbrahamConfig
-	env    node.Env
-	rbcEng *rbc.Engine
-	value  float64
-	round  int
-	rounds map[int]*roundData
-	done   bool
+	cfg     AbrahamConfig
+	env     node.Env
+	track   *obs.Track
+	roundAt int64
+	rbcEng  *rbc.Engine
+	value   float64
+	round   int
+	rounds  map[int]*roundData
+	done    bool
 }
 
 var _ node.Process = (*Abraham)(nil)
@@ -77,6 +80,8 @@ func NewAbraham(cfg AbrahamConfig, input float64) (*Abraham, error) {
 // Init implements node.Process.
 func (a *Abraham) Init(env node.Env) {
 	a.env = env
+	a.track = node.TrackOf(env)
+	a.roundAt = a.track.Now()
 	a.rbcEng = rbc.NewEngine(a.cfg.Config, env, a.onDeliver)
 	a.round = 1
 	a.broadcastValue()
@@ -181,8 +186,11 @@ func (a *Abraham) progress() {
 		f := a.cfg.F
 		trimmed := vals[f : len(vals)-f]
 		a.value = (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+		a.track.Span("aaa.round", a.roundAt, int64(a.round), int64(witnesses))
+		a.roundAt = a.track.Now()
 		if a.round >= a.cfg.Rounds {
 			a.done = true
+			a.track.Instant("aaa.decide", int64(a.round), 0)
 			a.env.Output(AbrahamResult{Output: a.value, Rounds: a.round})
 			a.env.Halt()
 			return

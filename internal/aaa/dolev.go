@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // DolevConfig parameterises the Dolev et al. (JACM'86) baseline, which
@@ -45,12 +46,14 @@ type DolevResult struct {
 // multicast of the state each round, collect n-t values, trim 2t from each
 // side, update to the trimmed midpoint.
 type Dolev struct {
-	cfg   DolevConfig
-	env   node.Env
-	value float64
-	round int
-	vals  map[int]map[node.ID]float64
-	done  bool
+	cfg     DolevConfig
+	env     node.Env
+	track   *obs.Track
+	roundAt int64
+	value   float64
+	round   int
+	vals    map[int]map[node.ID]float64
+	done    bool
 }
 
 var _ node.Process = (*Dolev)(nil)
@@ -69,6 +72,8 @@ func NewDolev(cfg DolevConfig, input float64) (*Dolev, error) {
 // Init implements node.Process.
 func (d *Dolev) Init(env node.Env) {
 	d.env = env
+	d.track = node.TrackOf(env)
+	d.roundAt = d.track.Now()
 	d.round = 1
 	env.Broadcast(&Value{Round: 1, V: d.value})
 }
@@ -110,8 +115,11 @@ func (d *Dolev) progress() {
 		trim := 2 * d.cfg.F
 		trimmed := vals[trim : len(vals)-trim]
 		d.value = (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+		d.track.Span("aaa.round", d.roundAt, int64(d.round), int64(len(rv)))
+		d.roundAt = d.track.Now()
 		if d.round >= d.cfg.Rounds {
 			d.done = true
+			d.track.Instant("aaa.decide", int64(d.round), 0)
 			d.env.Output(DolevResult{Output: d.value, Rounds: d.round})
 			d.env.Halt()
 			return

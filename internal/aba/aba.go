@@ -14,6 +14,7 @@ import (
 
 	"delphi/internal/coin"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/wire"
 )
 
@@ -113,6 +114,9 @@ type roundState struct {
 	aux       [2]map[node.ID]bool
 	coinValue uint64
 	coinReady bool
+	// startAt is the trace-clock reading when the round opened (feeds the
+	// per-round span; zero when tracing is disabled).
+	startAt int64
 }
 
 func newRoundState() *roundState {
@@ -144,6 +148,7 @@ func (x *instance) rs(r int) *roundState {
 type Engine struct {
 	cfg    node.Config
 	env    node.Env
+	track  *obs.Track
 	coins  *coin.Source
 	decide func(inst uint32, v bool)
 	insts  map[uint32]*instance
@@ -153,7 +158,7 @@ type Engine struct {
 // The coin source must be dedicated to this engine (it keys coins by
 // round).
 func NewEngine(cfg node.Config, env node.Env, coins *coin.Source, decide func(uint32, bool)) *Engine {
-	return &Engine{cfg: cfg, env: env, coins: coins, decide: decide, insts: make(map[uint32]*instance)}
+	return &Engine{cfg: cfg, env: env, track: node.TrackOf(env), coins: coins, decide: decide, insts: make(map[uint32]*instance)}
 }
 
 // CoinID derives the coin identifier for a round (shared across instances,
@@ -224,6 +229,9 @@ func bi(v bool) int {
 
 func (e *Engine) startRound(x *instance) {
 	rs := x.rs(x.round)
+	if rs.startAt == 0 {
+		rs.startAt = e.track.Now()
+	}
 	if !rs.bvalSent[bi(x.est)] {
 		rs.bvalSent[bi(x.est)] = true
 		e.env.Broadcast(&BVal{Inst: x.id, Round: uint16(x.round), V: x.est})
@@ -350,6 +358,7 @@ func (e *Engine) progress(x *instance) {
 			}
 		}
 		coinBit := rs.coinValue&1 == 1
+		e.track.Instant("aba.coin", int64(x.round), int64(rs.coinValue&1))
 		switch {
 		case n0 > 0 && n1 > 0:
 			x.est = coinBit
@@ -369,10 +378,13 @@ func (e *Engine) progress(x *instance) {
 		if x.decided {
 			// Help laggards immediately with the next round's votes; the
 			// zombie path keeps feeding later rounds on demand.
+			e.track.Span("aba.round", rs.startAt, int64(x.id), int64(x.round))
+			e.track.Instant("aba.decide", int64(x.id), int64(bi(x.value)))
 			e.zombie(x, x.round+1)
 			e.decide(x.id, x.value)
 			return
 		}
+		e.track.Span("aba.round", rs.startAt, int64(x.id), int64(x.round))
 		x.round++
 		e.startRound(x)
 		return

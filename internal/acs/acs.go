@@ -19,6 +19,7 @@ import (
 	"delphi/internal/aba"
 	"delphi/internal/coin"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/rbc"
 	"delphi/internal/wire"
 )
@@ -43,9 +44,11 @@ type Result struct {
 
 // Process runs one node of the ACS. It implements node.Process.
 type Process struct {
-	cfg   Config
-	env   node.Env
-	input float64
+	cfg     Config
+	env     node.Env
+	track   *obs.Track
+	startAt int64
+	input   float64
 
 	rbcEng *rbc.Engine
 	abaEng *aba.Engine
@@ -80,6 +83,8 @@ func New(cfg Config, input float64) (*Process, error) {
 // Init implements node.Process.
 func (p *Process) Init(env node.Env) {
 	p.env = env
+	p.track = node.TrackOf(env)
+	p.startAt = p.track.Now()
 	p.rbcEng = rbc.NewEngine(p.cfg.Config, env, p.onRBCDeliver)
 	p.coins = coin.NewSource(p.cfg.Config, env, p.cfg.CoinSeed, p.onCoin)
 	p.abaEng = aba.NewEngine(p.cfg.Config, env, p.coins, p.onABADecide)
@@ -126,6 +131,11 @@ func (p *Process) onABADecide(slot uint32, v bool) {
 		return
 	}
 	p.abaResult[slot] = v
+	var vi int64
+	if v {
+		vi = 1
+	}
+	p.track.Instant("acs.slot", int64(slot), vi)
 	if v {
 		p.ones++
 	}
@@ -161,6 +171,8 @@ func (p *Process) tryFinish() {
 		vals = append(vals, v)
 	}
 	p.finished = true
+	// The whole-protocol span: Init → subset decided with values in hand.
+	p.track.Span("acs.decide", p.startAt, int64(len(set)), 0)
 	sorted := append([]float64(nil), vals...)
 	sort.Float64s(sorted)
 	p.env.Output(Result{Output: median(sorted), Set: set, Values: vals})

@@ -119,7 +119,7 @@ func (TCP) Caps() Caps { return Caps{WallClock: true} }
 
 // Run implements Backend.
 func (b TCP) Run(spec bench.RunSpec) (RunResult, error) {
-	factory, cleanup, drops, err := tcpFactory(spec.N)
+	factory, cleanup, drops, err := tcpFactory(spec.N, spec.Obs)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -190,6 +190,7 @@ func runCluster(spec bench.RunSpec, kind bench.BackendKind, timeout time.Duratio
 		runtime.WithTransportWrap(sc.wrap),
 		runtime.WithWaitFor(sc.honest),
 		runtime.WithFrameBatching(!noBatch),
+		runtime.WithObs(spec.Obs),
 	}
 	if factory != nil {
 		opts = append(opts, runtime.WithTransports(factory))

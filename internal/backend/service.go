@@ -10,6 +10,7 @@ import (
 	"delphi/internal/auth"
 	"delphi/internal/bench"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/runtime"
 )
 
@@ -66,14 +67,23 @@ func (f tcpFabric) muxFab() runtime.MuxFabric { return f.net }
 // newServiceSession attaches a mux to the fabric; from here on the mux's
 // readers are the fabric's only consumers (the session never starts
 // drainers — the mux drains every slot itself, routing or discarding).
-func newServiceSession(kind bench.BackendKind, n int, timeout time.Duration, fab svcFabric) *serviceSession {
-	return &serviceSession{
+// rec, when non-nil, observes the fabric and the mux — it arrives before
+// any traffic flows, so the hooks are installed race-free.
+func newServiceSession(kind bench.BackendKind, n int, timeout time.Duration, fab svcFabric, rec *obs.Recorder) *serviceSession {
+	if rec != nil {
+		fab.observe(rec)
+	}
+	s := &serviceSession{
 		kind:    kind,
 		n:       n,
 		timeout: timeout,
 		fab:     fab,
 		mux:     runtime.NewInstanceMux(fab.muxFab()),
 	}
+	if rec != nil {
+		s.mux.Observe(rec)
+	}
+	return s
 }
 
 // RunRound implements bench.ServiceRunner. Safe for concurrent calls: each
@@ -126,6 +136,15 @@ func (s *serviceSession) RunRound(spec bench.RunSpec) (*bench.RunStats, error) {
 		runtime.WithTransportRelease(release),
 		runtime.WithFrameBatching(true),
 	}
+	if spec.Obs != nil {
+		// Concurrent rounds cannot share per-node tracks (tracks are
+		// single-writer), so each round mints its own row set, named by tag.
+		tracks := make([]*obs.Track, spec.N)
+		for i := range tracks {
+			tracks[i] = spec.Obs.NewTrack(fmt.Sprintf("round-%d.node-%d", tag, i), nil)
+		}
+		opts = append(opts, runtime.WithObsTracks(spec.Obs, tracks))
+	}
 	cfg := node.Config{N: spec.N, F: spec.F}
 	res, runErr := runtime.RunCluster(ctx, cfg, sc.procs, master, sc.reg, opts...)
 	// Flush the wrappers' in-flight delayed sends before collecting the
@@ -177,7 +196,7 @@ func (s *serviceSession) Close() error {
 func init() {
 	bench.MustRegisterServiceBackend(bench.BackendLive, func(spec bench.RunSpec, timeout time.Duration) (bench.ServiceRunner, error) {
 		return newServiceSession(bench.BackendLive, spec.N, timeout,
-			hubFabric{hub: runtime.NewHub(spec.N)}), nil
+			hubFabric{hub: runtime.NewHub(spec.N)}, spec.Obs), nil
 	})
 	bench.MustRegisterServiceBackend(bench.BackendTCP, func(spec bench.RunSpec, timeout time.Duration) (bench.ServiceRunner, error) {
 		net, err := runtime.NewTCPNet(spec.N)
@@ -185,6 +204,6 @@ func init() {
 			return nil, err
 		}
 		return newServiceSession(bench.BackendTCP, spec.N, timeout,
-			tcpFabric{net: net}), nil
+			tcpFabric{net: net}, spec.Obs), nil
 	})
 }

@@ -4,7 +4,6 @@ import (
 	"io"
 	"log"
 	"os"
-	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +13,7 @@ import (
 	"delphi/internal/dist"
 	"delphi/internal/feeds"
 	"delphi/internal/netadv"
+	"delphi/internal/obs"
 	"delphi/internal/runtime"
 	"delphi/internal/sim"
 )
@@ -55,13 +55,13 @@ func openSoakSession(t testing.TB, kind bench.BackendKind, n int) *serviceSessio
 	t.Helper()
 	switch kind {
 	case bench.BackendLive:
-		return newServiceSession(kind, n, 0, hubFabric{hub: runtime.NewHub(n)})
+		return newServiceSession(kind, n, 0, hubFabric{hub: runtime.NewHub(n)}, nil)
 	case bench.BackendTCP:
 		net, err := runtime.NewTCPNet(n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return newServiceSession(kind, n, 0, tcpFabric{net: net})
+		return newServiceSession(kind, n, 0, tcpFabric{net: net}, nil)
 	default:
 		t.Fatalf("no soak session for backend %q", kind)
 		return nil
@@ -119,41 +119,29 @@ func TestServiceTCPSoak(t *testing.T) {
 	warm := rounds / 5
 	soakRounds(t, s, base, 0, warm, window, &failed)
 
-	goros := stableCount(goruntime.NumGoroutine)
-	fds := stableCount(func() int { return openFDs(t) })
-	var m0 goruntime.MemStats
-	goruntime.GC()
-	goruntime.ReadMemStats(&m0)
+	base0 := obs.TakeResourceSnapshot()
 
 	soakRounds(t, s, base, warm, rounds, window, &failed)
 
 	// Mid-run: the session (listeners, connections, mux readers, buffer
 	// pools) is still open — this is steady-state, not post-teardown.
-	goros2 := stableCount(goruntime.NumGoroutine)
-	fds2 := stableCount(func() int { return openFDs(t) })
-	var m1 goruntime.MemStats
-	goruntime.GC()
-	goruntime.ReadMemStats(&m1)
+	end := obs.TakeResourceSnapshot()
 
 	if failed.Load() != 0 {
 		t.Fatalf("%d rounds failed out of %d", failed.Load(), rounds)
 	}
-	if goros2 > goros+4 {
-		t.Errorf("goroutines grew across soak: %d -> %d", goros, goros2)
-	}
-	if fds2 > fds+4 {
-		t.Errorf("fds grew across soak: %d -> %d", fds, fds2)
-	}
-	// Heap after GC must not trend with round count; allow generous slack
-	// for pool high-water marks and allocator noise.
-	if slack := uint64(8 << 20); m1.HeapAlloc > m0.HeapAlloc+slack {
-		t.Errorf("heap grew across soak: %d -> %d bytes", m0.HeapAlloc, m1.HeapAlloc)
+	// Counts may wobble by a connection or two; heap slack is generous for
+	// pool high-water marks and allocator noise. Nothing may trend with the
+	// round count.
+	if grew := end.GrewBeyond(base0, 4, 4, 8<<20); len(grew) != 0 {
+		t.Errorf("resources grew across soak: %v (%+v -> %+v)", grew, base0, end)
 	}
 	if d := s.Drops(); d != 0 {
 		t.Errorf("%d unaccounted transport drops across soak", d)
 	}
 	t.Logf("soak: %d rounds, %d stale frames accounted, goroutines %d->%d, fds %d->%d, heap %d->%d",
-		rounds, s.StaleFrames(), goros, goros2, fds, fds2, m0.HeapAlloc, m1.HeapAlloc)
+		rounds, s.StaleFrames(), base0.Goroutines, end.Goroutines, base0.FDs, end.FDs,
+		base0.HeapAlloc, end.HeapAlloc)
 }
 
 // TestServiceHubOverlappingRounds pins overlapping-instance safety on the
@@ -356,5 +344,64 @@ func BenchmarkServiceTCP(b *testing.B) {
 		}
 		b.ReportMetric(rep.RoundsPerSec, "rounds/s")
 		b.ReportMetric(rep.StalenessMS.Percentile(0.99), "p99_staleness_ms")
+	}
+}
+
+// TestServiceLiveMetricsAccounting is the global accounting-identity gate
+// on a real backend: one obs.Metrics snapshot must unify the service
+// ledger, the fan-out delivery ledger, and the fabric's physical-loss
+// accounting (observed transport drops and demux stale frames), and every
+// identity must balance — no event lost between subsystem counters.
+func TestServiceLiveMetricsAccounting(t *testing.T) {
+	rec := obs.New()
+	cfg := bench.ServiceConfig{
+		Scenario:        serviceScenario(bench.BackendLive),
+		Rounds:          40,
+		Rate:            300,
+		Window:          4,
+		Queue:           40,
+		Subscribers:     servicePopulation(),
+		Representatives: 4,
+		Obs:             rec,
+	}
+	rep, err := bench.NewEngine(1).RunService(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Metrics
+	if snap == nil {
+		t.Fatal("report carries no metrics snapshot")
+	}
+	for name, want := range map[string]int64{
+		"service.arrived":  int64(rep.Arrived),
+		"service.decided":  int64(rep.Decided),
+		"service.shed":     int64(rep.Shed),
+		"service.failed":   int64(rep.Failed),
+		"fanout.delivered": int64(rep.DeliveredUpdates),
+		"fanout.shed":      int64(rep.SubDropped),
+		"mux.stale_frames": int64(rep.StaleFrames),
+		"transport.drops":  int64(rep.TransportDrops),
+	} {
+		if got := snap.Value(name); got != want {
+			t.Errorf("%s: snapshot %d != report %d", name, got, want)
+		}
+	}
+	if sum := snap.Value("service.decided") + snap.Value("service.shed") + snap.Value("service.failed"); sum != snap.Value("service.arrived") {
+		t.Errorf("accounting leak: decided+shed+failed = %d, arrived = %d", sum, snap.Value("service.arrived"))
+	}
+	reps := int64(cfg.Representatives)
+	if sum := snap.Value("fanout.delivered") + snap.Value("fanout.shed"); sum != snap.Value("service.decided")*reps {
+		t.Errorf("fan-out ledger leak: delivered+shed = %d, decided×reps = %d", sum, snap.Value("service.decided")*reps)
+	}
+	if snap.Value("transport.drops") != 0 {
+		t.Errorf("%d unaccounted transport drops on a clean network", snap.Value("transport.drops"))
+	}
+	// A live service run with a recorder also carries lifecycle spans and
+	// driver activity — the trace side of the same run must not be empty.
+	if rec.EventCount() == 0 {
+		t.Error("live service run recorded no trace events")
+	}
+	if snap.Value("driver.flushes") == 0 {
+		t.Error("driver.flushes not recorded on a live run")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"delphi/internal/auth"
 	"delphi/internal/bench"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/runtime"
 )
 
@@ -67,6 +68,7 @@ type fabric interface {
 	endpoint(id node.ID, a *auth.Auth) runtime.Transport
 	recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool)
 	drops() uint64
+	observe(rec *obs.Recorder)
 	close() error
 }
 
@@ -79,8 +81,9 @@ func (f hubFabric) endpoint(id node.ID, a *auth.Auth) runtime.Transport {
 func (f hubFabric) recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool) {
 	return f.hub.Recv(id, stop)
 }
-func (f hubFabric) drops() uint64 { return f.hub.Drops() }
-func (f hubFabric) close() error  { f.hub.Close(); return nil }
+func (f hubFabric) drops() uint64             { return f.hub.Drops() }
+func (f hubFabric) observe(rec *obs.Recorder) { f.hub.Observe(rec) }
+func (f hubFabric) close() error              { f.hub.Close(); return nil }
 
 // tcpFabric adapts a persistent runtime.TCPNet.
 type tcpFabric struct{ net *runtime.TCPNet }
@@ -91,8 +94,9 @@ func (f tcpFabric) endpoint(id node.ID, a *auth.Auth) runtime.Transport {
 func (f tcpFabric) recv(id node.ID, stop <-chan struct{}) (runtime.Frame, bool) {
 	return f.net.Recv(id, stop)
 }
-func (f tcpFabric) drops() uint64 { return f.net.Drops() }
-func (f tcpFabric) close() error  { return f.net.Close() }
+func (f tcpFabric) drops() uint64             { return f.net.Drops() }
+func (f tcpFabric) observe(rec *obs.Recorder) { f.net.Observe(rec) }
+func (f tcpFabric) close() error              { return f.net.Close() }
 
 // drainer discards frames arriving on one slot's shared inbox while no
 // driver is reading it.
@@ -126,6 +130,12 @@ type clusterSession struct {
 	closed   bool
 	epoch    uint64
 	drainers []*drainer
+	// obsRec is the recorder the fabric is observed by (set by the first
+	// Run whose spec carries one); obsTracks are the session's long-lived
+	// per-node tracks, so a session's many trials share rows instead of
+	// minting n tracks per trial.
+	obsRec    *obs.Recorder
+	obsTracks []*obs.Track
 }
 
 // newClusterSession builds the session and starts draining every slot.
@@ -203,6 +213,17 @@ func (s *clusterSession) Run(spec bench.RunSpec) (RunResult, error) {
 	}
 	s.epoch++
 	epoch := s.epoch
+	if spec.Obs != nil && spec.Obs != s.obsRec {
+		// First trial carrying a recorder: observe the persistent fabric
+		// and lay out the per-node track rows once. Specs of one batch all
+		// carry the same recorder, so this runs before any traffic flows.
+		s.obsRec = spec.Obs
+		s.fab.observe(spec.Obs)
+		s.obsTracks = make([]*obs.Track, s.n)
+		for i := range s.obsTracks {
+			s.obsTracks[i] = spec.Obs.NewTrack(fmt.Sprintf("node-%d", i), nil)
+		}
+	}
 	// Hand the active slots to the trial; slots hosting no process
 	// (crashed nodes) stay drained throughout, so traffic addressed to
 	// them never backs up the fabric.
@@ -244,6 +265,9 @@ func (s *clusterSession) Run(spec bench.RunSpec) (RunResult, error) {
 		runtime.WithWaitFor(sc.honest),
 		runtime.WithTransportRelease(release),
 		runtime.WithFrameBatching(!s.noBatch),
+	}
+	if spec.Obs != nil {
+		opts = append(opts, runtime.WithObsTracks(spec.Obs, s.obsTracks))
 	}
 	cfg := node.Config{N: spec.N, F: spec.F}
 	dropsBefore := s.fab.drops()

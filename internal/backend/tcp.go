@@ -7,6 +7,7 @@ import (
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/runtime"
 )
 
@@ -16,8 +17,9 @@ import (
 // drops reader summing the built transports' observable frame-loss
 // counters. cleanup closes the listeners of slots whose transport was never
 // built (crashed nodes); built transports own — and close — their listener
-// themselves.
-func tcpFactory(n int) (runtime.TransportFactory, func(), func() uint64, error) {
+// themselves. rec, when non-nil, observes every built transport (one shared
+// dial track across the trial's cores).
+func tcpFactory(n int, rec *obs.Recorder) (runtime.TransportFactory, func(), func() uint64, error) {
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {
@@ -34,12 +36,21 @@ func tcpFactory(n int) (runtime.TransportFactory, func(), func() uint64, error) 
 	claimed := make([]bool, n)
 	var mu sync.Mutex
 	var built []interface{ Drops() uint64 }
+	var dials *obs.Track
+	if rec != nil {
+		dials = rec.SharedTrack("transport")
+	}
 	factory := func(id node.ID, a *auth.Auth) (runtime.Transport, error) {
 		if int(id) < 0 || int(id) >= n {
 			return nil, fmt.Errorf("backend: tcp transport for out-of-range node %v", id)
 		}
 		claimed[id] = true
 		tr := runtime.NewTCP(id, addrs, lns[id], a)
+		if rec != nil {
+			tr.(interface {
+				Observe(*obs.Recorder, *obs.Track)
+			}).Observe(rec, dials)
+		}
 		mu.Lock()
 		built = append(built, tr.(interface{ Drops() uint64 }))
 		mu.Unlock()

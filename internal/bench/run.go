@@ -17,6 +17,7 @@ import (
 	"delphi/internal/core"
 	"delphi/internal/netadv"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/sim"
 )
 
@@ -79,6 +80,14 @@ type RunSpec struct {
 	// (equally valid) schedule than sequential runs, so sequential goldens
 	// only transfer as δ-window statistical agreement.
 	SimWorkers int
+	// Obs, when non-nil, attaches the observability recorder: protocol
+	// phase spans land on per-node trace tracks (virtual time on the
+	// simulator, wall time on live backends), transport/driver counters
+	// land in the metrics registry, and RunStats.Metrics carries a
+	// snapshot. Nil (the default) keeps every instrumentation hook a free
+	// no-op. Obs never influences results — trials are byte-identical with
+	// it on or off — and is excluded from session cell keys.
+	Obs *obs.Recorder
 }
 
 // ByzKind names a Byzantine behaviour for RunSpec.Byzantine slots.
@@ -126,6 +135,11 @@ type RunStats struct {
 	// values rule transport loss in when investigating cross-backend
 	// disagreement.
 	TransportDrops uint64
+	// Metrics is the recorder's snapshot when the spec carried one (see
+	// RunSpec.Obs); nil otherwise. Trace-derived wall-clock metrics vary
+	// run to run, so Metrics carries no byte-identity guarantee — it is
+	// diagnostics, not results.
+	Metrics obs.Metrics
 }
 
 // defaultRounds derives the baselines' halving-round count from Delphi's
@@ -333,6 +347,9 @@ func runSim(spec RunSpec, scratch *sim.Scratch) (*RunStats, error) {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
 	opts := []sim.Option{sim.WithMaxTime(4 * time.Hour)}
+	if spec.Obs != nil {
+		opts = append(opts, sim.WithRecorder(spec.Obs))
+	}
 	if rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed); rule != nil {
 		opts = append(opts, sim.WithDelayRule(rule))
 	}
@@ -374,6 +391,9 @@ func runSim(spec RunSpec, scratch *sim.Scratch) (*RunStats, error) {
 	for _, i := range spec.HonestSlots() {
 		stats.SigVerifies += res.Stats[i].Compute.SigVerifies
 		stats.Pairings += res.Stats[i].Compute.Pairings
+	}
+	if spec.Obs != nil {
+		stats.Metrics = spec.Obs.Snapshot()
 	}
 	return stats, nil
 }

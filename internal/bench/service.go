@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"delphi/internal/feeds"
+	"delphi/internal/obs"
 )
 
 // This file is the continuous-service oracle mode (ROADMAP item 3): instead
@@ -92,6 +93,18 @@ type ServiceConfig struct {
 	Representatives int
 	// SubBuffer is each representative's fan-out buffer (default 16).
 	SubBuffer int
+	// Obs, when non-nil, records the service's round lifecycle on a
+	// "service" trace track — svc.queue (arrival → start), svc.round
+	// (start → decision), and svc.fanout (decision → subscriber-visible)
+	// spans whose durations decompose each staleness sample — plus the
+	// drop/shed accounting counters. The simulator model drives the track
+	// on the virtual clock and records the overlay only (rounds run
+	// through the parallel batch engine, where shared-track creation order
+	// would not be deterministic), so its trace bytes are reproducible.
+	// Live backends use the wall clock and additionally attach the
+	// recorder to every round's RunSpec, so protocol phases land on
+	// per-node tracks. ServiceReport.Metrics carries the final snapshot.
+	Obs *obs.Recorder
 }
 
 func (c ServiceConfig) window() int {
@@ -178,6 +191,11 @@ type ServiceReport struct {
 	// representative subscribers and updates shed by their bounded
 	// buffers.
 	DeliveredUpdates, SubDropped uint64
+	// Metrics is the recorder's snapshot when the config carried one (see
+	// ServiceConfig.Obs); nil otherwise. Excluded from Fingerprint: the
+	// snapshot may include wall-clock and worker-count-dependent readings
+	// that carry no byte-identity guarantee.
+	Metrics obs.Metrics
 }
 
 // Fingerprint renders every deterministic field with exact float bits — the
@@ -371,6 +389,26 @@ func newServiceReport(kind BackendKind) *ServiceReport {
 	return r
 }
 
+// finishMetrics rolls the report's accounting into the recorder's registry
+// — the one snapshot surface unifying service shedding, fan-out shedding,
+// and (on live backends, via the observed fabric and mux) transport drops
+// and stale frames — then snapshots it into r.Metrics. Call once per run;
+// a nil recorder is a no-op.
+func (r *ServiceReport) finishMetrics(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Counter("service.arrived").Add(int64(r.Arrived))
+	rec.Counter("service.decided").Add(int64(r.Decided))
+	rec.Counter("service.shed").Add(int64(r.Shed))
+	rec.Counter("service.failed").Add(int64(r.Failed))
+	rec.Gauge("service.max_inflight").Max(int64(r.MaxInFlight))
+	rec.Gauge("service.max_queued").Max(int64(r.MaxQueued))
+	rec.Counter("fanout.delivered").Add(int64(r.DeliveredUpdates))
+	rec.Counter("fanout.shed").Add(int64(r.SubDropped))
+	r.Metrics = rec.Snapshot()
+}
+
 // doneHeap is a min-heap of in-flight completions ordered by (time, round):
 // the deterministic tiebreak keeps the sim overlay byte-identical when two
 // virtual completions coincide.
@@ -446,6 +484,14 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 	reps := cfg.Subscribers.Representatives(cfg.representatives())
 	window, queueCap := cfg.window(), cfg.Queue
 
+	// Service-lifecycle trace: one virtual-clock track driven by the
+	// single-threaded overlay, so the emitted bytes are pure functions of
+	// (cfg, seed). vns converts overlay seconds to track nanoseconds.
+	var svcNow int64
+	track := cfg.Obs.NewTrack("service", &svcNow)
+	vns := func(sec float64) int64 { return int64(sec * 1e9) }
+	startAt := make([]float64, cfg.Rounds)
+
 	var inflight doneHeap
 	var queue []int // round indices waiting, FIFO
 	arrivals := make([]float64, cfg.Rounds)
@@ -460,6 +506,7 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 		service := float64(stats[round].Latency) / float64(time.Second)
 		done := at + service
 		inflight.push(doneEv{at: done, round: round})
+		startAt[round] = at
 		rep.QueueMS.Add((at - arrivals[round]) * 1e3)
 		rep.ServiceMS.Add(service * 1e3)
 	}
@@ -470,10 +517,13 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 		}
 		latency := ev.at - arrivals[ev.round]
 		rep.LatencyMS.Add(latency * 1e3)
+		track.SpanAt("svc.queue", vns(arrivals[ev.round]), vns(startAt[ev.round]), int64(ev.round), 0)
+		track.SpanAt("svc.round", vns(startAt[ev.round]), vns(ev.at), int64(ev.round), 0)
 		for _, sub := range reps {
 			d := cfg.Subscribers.Delay(int64(ev.round), sub)
 			rep.StalenessMS.Add(latency*1e3 + float64(d)/float64(time.Millisecond))
 			rep.DeliveredUpdates++
+			track.SpanAt("svc.fanout", vns(ev.at), vns(ev.at)+int64(d), int64(ev.round), int64(sub))
 		}
 		if len(queue) > 0 {
 			next := queue[0]
@@ -484,6 +534,7 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 
 	for i := 0; i < cfg.Rounds; i++ {
 		t := arrivals[i]
+		svcNow = vns(t)
 		for len(inflight) > 0 && inflight[0].at <= t {
 			finish(inflight.pop())
 		}
@@ -495,6 +546,7 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 			queue = append(queue, i)
 		default:
 			rep.Shed++
+			track.Instant("svc.shed", int64(i), 0)
 		}
 		if len(inflight) > rep.MaxInFlight {
 			rep.MaxInFlight = len(inflight)
@@ -512,6 +564,7 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 	if span > 0 {
 		rep.RoundsPerSec = float64(rep.Decided) / span
 	}
+	rep.finishMetrics(cfg.Obs)
 	return rep, nil
 }
 
@@ -520,6 +573,7 @@ func (e *Engine) runServiceSim(cfg ServiceConfig, seed int64) (*ServiceReport, e
 func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open ServiceOpen) (*ServiceReport, error) {
 	spec0 := cfg.Scenario.Spec(seed, 0)
 	spec0.Backend = kind
+	spec0.Obs = cfg.Obs // lets the opener observe its fabric and demux
 	runner, err := open(spec0, cfg.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("bench: open %s service: %w", kind, err)
@@ -529,6 +583,11 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 	rep := newServiceReport(kind)
 	fanout := feeds.NewFanout()
 	reps := cfg.Subscribers.Representatives(cfg.representatives())
+
+	// Round-lifecycle trace on the wall clock. runRound goroutines and
+	// subscriber goroutines all write here, hence the shared track.
+	rec := cfg.Obs
+	track := rec.SharedTrack("service")
 
 	// Representative subscribers: each records per-delivery staleness =
 	// (wall delivery lag behind the round's arrival) + its modeled
@@ -551,10 +610,18 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 					subResults[si].dropped = s.Dropped()
 					return
 				}
-				lag := time.Since(u.At) + cfg.Subscribers.Delay(u.Round, subIdx)
+				recvAt := time.Now()
+				d := cfg.Subscribers.Delay(u.Round, subIdx)
+				lag := recvAt.Sub(u.At) + d
 				subResults[si].staleness = append(subResults[si].staleness,
 					float64(lag)/float64(time.Millisecond))
 				subResults[si].delivered++
+				if !u.Decided.IsZero() {
+					// Fan-out segment: decision → value visible at the
+					// modeled client (transit + its propagation delay).
+					track.SpanAt("svc.fanout", rec.WallNS(u.Decided),
+						rec.WallNS(recvAt)+int64(d), u.Round, int64(subIdx))
+				}
 			}
 		}(si, subIdx, s)
 	}
@@ -577,9 +644,14 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 		defer wg.Done()
 		spec := cfg.Scenario.Spec(seed, q.round)
 		spec.Backend = kind
+		spec.Obs = cfg.Obs
 		started := time.Now()
 		st, err := runner.RunRound(spec)
 		decided := time.Now()
+		if err == nil {
+			track.SpanAt("svc.queue", rec.WallNS(q.arrived), rec.WallNS(started), int64(q.round), 0)
+			track.SpanAt("svc.round", rec.WallNS(started), rec.WallNS(decided), int64(q.round), 0)
+		}
 
 		mu.Lock()
 		if err != nil {
@@ -611,7 +683,7 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 			if len(st.Outputs) > 0 {
 				value = st.Outputs[0]
 			}
-			fanout.Publish(feeds.Update{Round: int64(q.round), Value: value, At: q.arrived})
+			fanout.Publish(feeds.Update{Round: int64(q.round), Value: value, At: q.arrived, Decided: decided})
 		}
 		if next != nil {
 			launch(*next)
@@ -647,6 +719,7 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 			queue = append(queue, queued{round: i, arrived: now})
 		default:
 			rep.Shed++
+			track.Instant("svc.shed", int64(i), 0)
 		}
 		if inflight > rep.MaxInFlight {
 			rep.MaxInFlight = inflight
@@ -676,6 +749,10 @@ func runServiceLive(cfg ServiceConfig, kind BackendKind, seed int64, open Servic
 	}
 	rep.StaleFrames = runner.StaleFrames()
 	rep.TransportDrops = runner.Drops()
+	// The observed fabric and demux increment transport.drops and
+	// mux.stale_frames live; finishMetrics adds only the service- and
+	// fan-out-level tallies, so nothing is double counted.
+	rep.finishMetrics(cfg.Obs)
 	if rep.Decided == 0 && firstErr != nil {
 		return nil, firstErr
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // Config parameterises a BinAA engine.
@@ -43,6 +44,11 @@ type Engine struct {
 	cfg    Config
 	env    node.Env
 	onDone func(weights map[IID]float64)
+
+	// track and roundAt feed per-round trace spans; both stay zero when
+	// observability is disabled.
+	track   *obs.Track
+	roundAt int64
 
 	round  int // current round, 1-based
 	done   bool
@@ -179,6 +185,8 @@ func (e *Engine) Weights() map[IID]float64 {
 // Start begins round 1. Call exactly once, after the environment is ready.
 func (e *Engine) Start(env node.Env) {
 	e.env = env
+	e.track = node.TrackOf(env)
+	e.roundAt = e.track.Now()
 	e.round = 1
 	// Seed instList in sorted (level, K) order, not input-map order: every
 	// later activation appends in deterministic message order, and whole-set
@@ -714,8 +722,11 @@ func (e *Engine) tryAdvance() bool {
 	for _, x := range e.instList {
 		x.state = x.rounds[e.round-1].decision
 	}
+	e.track.Span("binaa.round", e.roundAt, int64(e.round), int64(len(e.instList)))
+	e.roundAt = e.track.Now()
 	if e.round >= e.cfg.Rounds {
 		e.done = true
+		e.track.Instant("binaa.done", int64(e.round), int64(len(e.instList)))
 		e.onDone(e.Weights())
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 
 	"delphi/internal/binaa"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // Config combines the system configuration with Delphi's parameters.
@@ -57,10 +58,12 @@ type Result struct {
 // Delphi is the protocol state machine for one node. It implements
 // node.Process and can be driven by the simulator or the live runtime.
 type Delphi struct {
-	cfg   Config
-	input float64
-	env   node.Env
-	eng   *binaa.Engine
+	cfg     Config
+	input   float64
+	env     node.Env
+	track   *obs.Track
+	startAt int64
+	eng     *binaa.Engine
 }
 
 var _ node.Process = (*Delphi)(nil)
@@ -106,6 +109,8 @@ func (d *Delphi) binaaInputs() map[binaa.IID]float64 {
 // Init implements node.Process.
 func (d *Delphi) Init(env node.Env) {
 	d.env = env
+	d.track = node.TrackOf(env)
+	d.startAt = d.track.Now()
 	d.eng.Start(env)
 }
 
@@ -127,6 +132,9 @@ func (d *Delphi) Deliver(from node.ID, m node.Message) {
 func (d *Delphi) finish(weights map[binaa.IID]float64) {
 	res := Aggregate(d.cfg, d.input, weights)
 	res.Rounds = d.cfg.Params.Rounds(d.cfg.N)
+	// The whole-protocol span: Init → aggregation complete (the per-round
+	// breakdown inside it comes from the BinAA engine's "binaa.round" spans).
+	d.track.Span("delphi.decide", d.startAt, int64(res.Rounds), 0)
 	d.env.Output(res)
 	d.env.Halt()
 }

@@ -18,6 +18,10 @@ type Update struct {
 	// the round's arrival time, so delivery staleness is end to end:
 	// queueing + agreement + fan-out transit.
 	At time.Time
+	// Decided, when set, is the instant the round's agreement finished —
+	// the boundary between the protocol and fan-out segments of staleness.
+	// Tracing uses it to anchor the fan-out span; zero is fine otherwise.
+	Decided time.Time
 }
 
 // Fanout distributes decided oracle rounds to any number of subscribers.

@@ -11,7 +11,11 @@
 // (internal/sim) and the live goroutine runtime (internal/runtime).
 package node
 
-import "fmt"
+import (
+	"fmt"
+
+	"delphi/internal/obs"
+)
 
 // ID identifies a node within a protocol instance. IDs are dense integers
 // in [0, n).
@@ -59,6 +63,25 @@ type Env interface {
 	// The simulator translates the cost into virtual time via its cost
 	// model; the live runtime ignores it (real CPU time is already spent).
 	ChargeCompute(c ComputeCost)
+}
+
+// Tracing is the optional capability an Env may implement to expose a
+// per-node trace track. Protocols never depend on it directly; they resolve
+// it once at Init via TrackOf and keep the (possibly nil) handle.
+type Tracing interface {
+	// Track returns this node's trace track, or nil when observability is
+	// disabled.
+	Track() *obs.Track
+}
+
+// TrackOf returns env's trace track when the environment implements
+// Tracing, else nil. All *obs.Track methods are nil-safe no-ops, so callers
+// store the result and emit unconditionally.
+func TrackOf(env Env) *obs.Track {
+	if t, ok := env.(Tracing); ok {
+		return t.Track()
+	}
+	return nil
 }
 
 // Process is an event-driven protocol state machine.

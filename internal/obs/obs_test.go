@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilHandlesAreZeroAlloc pins the package's core contract: every method
+// on a nil handle is a no-op with zero allocations, so instrumented hot
+// paths cost a nil check when observability is disabled.
+func TestNilHandlesAreZeroAlloc(t *testing.T) {
+	var (
+		rec  *Recorder
+		tr   *Track
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+		sink int64
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Instant("x", 1, 2)
+		tr.Span("x", 0, 1, 2)
+		tr.SpanAt("x", 0, 1, 1, 2)
+		sink += tr.Now()
+		c.Add(3)
+		c.Inc()
+		g.Set(4)
+		g.Max(5)
+		h.Observe(6)
+		sink += c.Value() + g.Value()
+		if rec.Enabled() || tr.Enabled() {
+			t.Fatal("nil handles report enabled")
+		}
+		if rec.Counter("x") != nil || rec.Gauge("x") != nil || rec.Histogram("x") != nil {
+			t.Fatal("nil recorder returned a live handle")
+		}
+		if rec.NewTrack("x", nil) != nil || rec.SharedTrack("x") != nil {
+			t.Fatal("nil recorder returned a live track")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle calls allocated %.1f allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestTraceDeterministicBytes builds the same virtual-time trace twice and
+// requires byte-identical exports — the property the sim backend's
+// trace-determinism gate rests on.
+func TestTraceDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		rec := New()
+		var now int64
+		a := rec.NewTrack("node-0", &now)
+		b := rec.NewTrack("node-1", &now)
+		now = 1000
+		a.Instant("phase.start", 1, 0)
+		start := a.Now()
+		now = 2500
+		a.Span("phase.work", start, 7, 8)
+		b.SpanAt("other", 100, 90, 0, 0) // end < start clamps
+		var buf bytes.Buffer
+		if err := rec.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t1, t2 := build(), build()
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("trace bytes differ across identical builds:\n%s\n--\n%s", t1, t2)
+	}
+}
+
+// TestTraceJSONWellFormed parses the exported trace as JSON and checks the
+// Chrome trace-event fields Perfetto requires.
+func TestTraceJSONWellFormed(t *testing.T) {
+	rec := New()
+	var now int64
+	tr := rec.NewTrack(`na"me\n`, &now)
+	now = 1234567
+	tr.Instant("i1", -5, 3)
+	tr.SpanAt("s1", 1000, 4000, 0, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + instant + span
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["args"].(map[string]any)["name"] != "na\"me\\n" {
+		t.Fatalf("bad metadata event: %v", meta)
+	}
+	inst := doc.TraceEvents[1]
+	if inst["ph"] != "i" || inst["ts"].(float64) != 1234.567 {
+		t.Fatalf("bad instant event: %v", inst)
+	}
+	span := doc.TraceEvents[2]
+	if span["ph"] != "X" || span["ts"].(float64) != 1.0 || span["dur"].(float64) != 3.0 {
+		t.Fatalf("bad span event: %v", span)
+	}
+}
+
+// TestMetricsSnapshot checks registration idempotence, snapshot ordering,
+// and the text/JSON dumps.
+func TestMetricsSnapshot(t *testing.T) {
+	rec := New()
+	if rec.Counter("z.count") != rec.Counter("z.count") {
+		t.Fatal("counter registration not idempotent")
+	}
+	rec.Counter("z.count").Add(5)
+	rec.Gauge("a.gauge").Max(9)
+	rec.Gauge("a.gauge").Max(3) // must not regress the high-water mark
+	rec.Histogram("m.hist").Observe(10)
+	rec.Histogram("m.hist").Observe(-2)
+	snap := rec.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not name-sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	if v := snap.Value("z.count"); v != 5 {
+		t.Fatalf("z.count = %d, want 5", v)
+	}
+	if v := snap.Value("a.gauge"); v != 9 {
+		t.Fatalf("a.gauge = %d, want 9", v)
+	}
+	h, ok := snap.Get("m.hist")
+	if !ok || h.Value != 2 || h.Sum != 8 || h.Min != -2 || h.Max != 10 {
+		t.Fatalf("m.hist = %+v, want count=2 sum=8 min=-2 max=10", h)
+	}
+	var text bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.gauge gauge 9\nm.hist histogram count=2 sum=8 min=-2 max=10\nz.count counter 5\n"
+	if text.String() != want {
+		t.Fatalf("text dump:\n%s\nwant:\n%s", text.String(), want)
+	}
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"name":"z.count"`) {
+		t.Fatalf("JSON dump missing counter: %s", js.String())
+	}
+	var parsed Metrics
+	if err := json.Unmarshal(js.Bytes(), &parsed); err != nil {
+		t.Fatalf("JSON dump does not round-trip: %v", err)
+	}
+}
+
+// TestSharedTrackConcurrency exercises SharedTrack under the race detector.
+func TestSharedTrackConcurrency(t *testing.T) {
+	rec := New()
+	tr := rec.SharedTrack("shared")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				tr.Instant("evt", int64(i), 0)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := len(tr.Events()); got != 400 {
+		t.Fatalf("shared track recorded %d events, want 400", got)
+	}
+	if rec.EventCount() != 400 {
+		t.Fatalf("EventCount = %d, want 400", rec.EventCount())
+	}
+}
+
+// TestResourceSnapshot sanity-checks the footprint reader and the growth
+// comparison helper.
+func TestResourceSnapshot(t *testing.T) {
+	base := TakeResourceSnapshot()
+	if base.Goroutines <= 0 {
+		t.Fatalf("goroutine count %d", base.Goroutines)
+	}
+	if base.HeapAlloc == 0 {
+		t.Fatal("heap reading is zero")
+	}
+	later := base
+	if grew := later.GrewBeyond(base, 0, 0, 0); len(grew) != 0 {
+		t.Fatalf("identical snapshots report growth: %v", grew)
+	}
+	later.Goroutines = base.Goroutines + 10
+	later.HeapAlloc = base.HeapAlloc + 100
+	if grew := later.GrewBeyond(base, 4, 4, 0); len(grew) != 2 {
+		t.Fatalf("growth detection missed: %v", grew)
+	}
+}

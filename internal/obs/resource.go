@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// ResourceSnapshot is a point-in-time reading of the process' resource
+// footprint, used by longevity tests to assert that long-running sessions
+// stay flat (no goroutine, fd, or heap growth trending with work done).
+type ResourceSnapshot struct {
+	// Goroutines is the stabilised goroutine count (see TakeResourceSnapshot).
+	Goroutines int
+	// FDs is the open file-descriptor count, or -1 where unreadable
+	// (non-Linux hosts without /proc).
+	FDs int
+	// HeapAlloc is the live heap after a forced collection, in bytes.
+	HeapAlloc uint64
+}
+
+// TakeResourceSnapshot captures the current footprint: it polls the
+// goroutine and fd counts until stable (absorbing scheduler lag after a
+// cluster run, the soak tests' stableCount idiom) and reads the heap after
+// a forced GC.
+func TakeResourceSnapshot() ResourceSnapshot {
+	s := ResourceSnapshot{
+		Goroutines: stableCount(runtime.NumGoroutine),
+		FDs:        stableCount(openFDs),
+	}
+	var m runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m)
+	s.HeapAlloc = m.HeapAlloc
+	return s
+}
+
+// GrewBeyond compares s (taken later) against base with the given slack
+// allowances and returns the names of the dimensions that grew beyond
+// slack — empty means flat. Unreadable fd counts (either side -1) are
+// skipped.
+func (s ResourceSnapshot) GrewBeyond(base ResourceSnapshot, slackGoroutines, slackFDs int, slackHeap uint64) []string {
+	var grew []string
+	if s.Goroutines > base.Goroutines+slackGoroutines {
+		grew = append(grew, "goroutines")
+	}
+	if s.FDs >= 0 && base.FDs >= 0 && s.FDs > base.FDs+slackFDs {
+		grew = append(grew, "fds")
+	}
+	if s.HeapAlloc > base.HeapAlloc+slackHeap {
+		grew = append(grew, "heap")
+	}
+	return grew
+}
+
+// openFDs counts the process' open file descriptors via /proc; -1 where
+// unavailable.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// stableCount polls fn until it returns the same value twice in a row or
+// the budget runs out, absorbing scheduler lag after a cluster run.
+func stableCount(fn func() int) int {
+	prev := fn()
+	for i := 0; i < 50; i++ {
+		time.Sleep(20 * time.Millisecond)
+		cur := fn()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+)
+
+// WriteTrace renders the recorder's tracks as Chrome trace-event JSON (the
+// "JSON array format" Perfetto and chrome://tracing load directly). Each
+// track becomes one thread (tid = track id, pid = 0) named by a metadata
+// event; spans are "X" complete events and instants are "i" events.
+//
+// Byte determinism is part of the contract: tracks are emitted in creation
+// order, events in append order, and timestamps are formatted from integer
+// nanoseconds (microseconds with three decimals) with no floating-point
+// formatting anywhere — so a deterministic run produces a byte-identical
+// trace. Writing on a nil recorder emits an empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	if r != nil {
+		r.mu.Lock()
+		tracks := r.tracks
+		r.mu.Unlock()
+		first := true
+		for _, t := range tracks {
+			t.mu.Lock()
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString("\n{\"ph\":\"M\",\"pid\":0,\"tid\":")
+			writeInt(bw, int64(t.id))
+			bw.WriteString(",\"name\":\"thread_name\",\"args\":{\"name\":")
+			writeString(bw, t.name)
+			bw.WriteString("}}")
+			for i := range t.events {
+				e := &t.events[i]
+				bw.WriteString(",\n{\"ph\":\"")
+				if e.Dur < 0 {
+					bw.WriteByte('i')
+				} else {
+					bw.WriteByte('X')
+				}
+				bw.WriteString("\",\"pid\":0,\"tid\":")
+				writeInt(bw, int64(t.id))
+				bw.WriteString(",\"name\":")
+				writeString(bw, e.Name)
+				bw.WriteString(",\"ts\":")
+				writeMicros(bw, e.TS)
+				if e.Dur < 0 {
+					bw.WriteString(",\"s\":\"t\"")
+				} else {
+					bw.WriteString(",\"dur\":")
+					writeMicros(bw, e.Dur)
+				}
+				bw.WriteString(",\"args\":{\"a\":")
+				writeInt(bw, e.A)
+				bw.WriteString(",\"b\":")
+				writeInt(bw, e.B)
+				bw.WriteString("}}")
+			}
+			t.mu.Unlock()
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeMicros formats ns as microseconds with exactly three decimal places
+// using integer arithmetic only.
+func writeMicros(w *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		w.WriteByte('-')
+		ns = -ns
+	}
+	writeInt(w, ns/1000)
+	rem := ns % 1000
+	w.WriteByte('.')
+	w.WriteByte(byte('0' + rem/100))
+	w.WriteByte(byte('0' + rem/10%10))
+	w.WriteByte(byte('0' + rem%10))
+}
+
+// writeInt formats v in decimal without fmt.
+func writeInt(w *bufio.Writer, v int64) {
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	w.Write(buf[i:])
+}
+
+// writeString writes s as a JSON string. Track and event names in this
+// repository are plain ASCII identifiers; anything needing escapes is
+// escaped minimally.
+func writeString(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			w.WriteByte('\\')
+			w.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			w.WriteString("\\u00")
+			w.WriteByte(hex[c>>4])
+			w.WriteByte(hex[c&0xf])
+		default:
+			w.WriteByte(c)
+		}
+	}
+	w.WriteByte('"')
+}

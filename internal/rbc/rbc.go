@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/wire"
 )
 
@@ -180,6 +181,12 @@ type instance struct {
 	echoed    bool
 	readied   bool
 	delivered bool
+	// bornAt/echoAt/readyAt are trace-clock readings of the instance's
+	// phase transitions (zero when tracing is disabled; they only feed the
+	// emitted spans).
+	bornAt  int64
+	echoAt  int64
+	readyAt int64
 	// echoes and readies count votes per distinct payload (keyed by string
 	// conversion of the payload bytes), allocated lazily on the first echo
 	// or ready for the instance.
@@ -192,6 +199,7 @@ type instance struct {
 type Engine struct {
 	cfg     node.Config
 	env     node.Env
+	track   *obs.Track
 	deliver func(Key, []byte)
 	insts   map[Key]*instance
 }
@@ -199,13 +207,13 @@ type Engine struct {
 // NewEngine creates an engine; deliver is invoked exactly once per
 // delivered instance.
 func NewEngine(cfg node.Config, env node.Env, deliver func(Key, []byte)) *Engine {
-	return &Engine{cfg: cfg, env: env, deliver: deliver, insts: make(map[Key]*instance)}
+	return &Engine{cfg: cfg, env: env, track: node.TrackOf(env), deliver: deliver, insts: make(map[Key]*instance)}
 }
 
 func (e *Engine) inst(k Key) *instance {
 	x, ok := e.insts[k]
 	if !ok {
-		x = &instance{}
+		x = &instance{bornAt: e.track.Now()}
 		e.insts[k] = x
 	}
 	return x
@@ -239,7 +247,19 @@ func (e *Engine) onInit(from node.ID, m *Init) {
 		return
 	}
 	x.echoed = true
+	x.echoAt = e.track.Now()
 	e.env.Broadcast(&Echo{Initiator: from, Tag: m.Tag, Payload: m.Payload})
+}
+
+// traceReady closes the instance's echo-collection phase span when the
+// READY goes out ("rbc.echo" spans echo broadcast → ready broadcast).
+func (e *Engine) traceReady(k Key, x *instance) {
+	start := x.echoAt
+	if start == 0 {
+		start = x.bornAt
+	}
+	e.track.Span("rbc.echo", start, int64(k.Initiator), int64(k.Tag))
+	x.readyAt = e.track.Now()
 }
 
 func (e *Engine) onEcho(from node.ID, m *Echo) {
@@ -260,6 +280,7 @@ func (e *Engine) onEcho(from node.ID, m *Echo) {
 	}
 	if s.count >= e.cfg.Quorum() && !x.readied {
 		x.readied = true
+		e.traceReady(k, x)
 		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
 	}
 }
@@ -281,11 +302,15 @@ func (e *Engine) onReady(from node.ID, m *Ready) {
 	// Amplify on t+1 READYs.
 	if s.count >= e.cfg.F+1 && !x.readied {
 		x.readied = true
+		e.traceReady(k, x)
 		e.env.Broadcast(&Ready{Initiator: m.Initiator, Tag: m.Tag, Payload: m.Payload})
 	}
 	// Deliver on 2t+1 READYs.
 	if s.count >= 2*e.cfg.F+1 && !x.delivered {
 		x.delivered = true
+		// "rbc.ready" spans ready broadcast → delivery quorum.
+		e.track.Span("rbc.ready", x.readyAt, int64(k.Initiator), int64(k.Tag))
+		e.track.Instant("rbc.deliver", int64(k.Initiator), int64(k.Tag))
 		e.deliver(k, m.Payload)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/wire"
 )
 
@@ -61,6 +62,8 @@ type clusterOpts struct {
 	waitFor    []node.ID
 	release    func()
 	noBatch    bool
+	rec        *obs.Recorder
+	tracks     []*obs.Track
 }
 
 // ClusterOption customises RunCluster.
@@ -98,6 +101,22 @@ func WithFrameBatching(on bool) ClusterOption {
 	return func(o *clusterOpts) { o.noBatch = !on }
 }
 
+// WithObs threads a recorder through the cluster: each driver gets a
+// wall-clock per-node track (created here in node order, so track layout is
+// stable) plus flush/batch counters, and the process behind it sees the
+// track through node.Tracing. A nil recorder is the default no-op.
+func WithObs(rec *obs.Recorder) ClusterOption {
+	return func(o *clusterOpts) { o.rec = rec }
+}
+
+// WithObsTracks is WithObs with caller-supplied per-node tracks (index =
+// node id; nil entries allowed). Sessions that host many runs on one
+// recorder use it to keep all of a node's spans on one long-lived track
+// instead of one track per run.
+func WithObsTracks(rec *obs.Recorder, tracks []*obs.Track) ClusterOption {
+	return func(o *clusterOpts) { o.rec, o.tracks = rec, tracks }
+}
+
 // WithWaitFor ends the run once every listed node's driver has exited,
 // cancelling the rest. Without it the cluster waits for all non-nil
 // processes — which never happens when a Byzantine process (e.g. a
@@ -125,6 +144,9 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 	var hub *Hub
 	if o.transports == nil {
 		hub = NewHub(cfg.N)
+		if o.rec != nil {
+			hub.Observe(o.rec)
+		}
 		o.transports = func(id node.ID, a *auth.Auth) (Transport, error) {
 			return hub.Endpoint(id, a), nil
 		}
@@ -175,7 +197,17 @@ func RunCluster(ctx context.Context, cfg node.Config, procs []node.Process, mast
 			tr = o.wrap(node.ID(i), tr)
 		}
 		transports[i] = tr
-		drivers[i] = NewDriver(cfg, node.ID(i), p, tr, a, reg, WithDriverBatching(!o.noBatch))
+		dopts := []DriverOption{WithDriverBatching(!o.noBatch)}
+		if o.rec != nil {
+			var track *obs.Track
+			if o.tracks != nil && i < len(o.tracks) {
+				track = o.tracks[i]
+			} else {
+				track = o.rec.NewTrack(fmt.Sprintf("node-%d", i), nil)
+			}
+			dopts = append(dopts, WithDriverObs(o.rec, track))
+		}
+		drivers[i] = NewDriver(cfg, node.ID(i), p, tr, a, reg, dopts...)
 	}
 	// WithWaitFor: once every listed (and actually running) driver exits,
 	// cancel the rest instead of waiting on processes that never halt.

@@ -1,6 +1,10 @@
 package runtime
 
-import "sync"
+import (
+	"sync"
+
+	"delphi/internal/obs"
+)
 
 // inbox is a growable ring buffer of inbound frames: the per-node mailbox
 // behind every transport's Recv. It replaces the buffered `chan Frame` the
@@ -35,6 +39,9 @@ type inbox struct {
 	wake chan struct{}
 	// free is the bounded frame-buffer freelist (see getBuf/recycle).
 	free [][]byte
+	// hw, when set, ratchets the inbox's high-water occupancy into a shared
+	// gauge. Nil (a free no-op) unless a recorder is attached upstream.
+	hw *obs.Gauge
 }
 
 // inboxFreeCap bounds the freelist length; inboxBufCap bounds the capacity
@@ -68,7 +75,9 @@ func (b *inbox) put(f Frame) bool {
 	}
 	b.buf[(b.head+b.count)%len(b.buf)] = f
 	b.count++
+	n := b.count
 	b.mu.Unlock()
+	b.hw.Max(int64(n))
 	b.signal()
 	return true
 }

@@ -8,6 +8,7 @@ import (
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // MuxFabric is the slice of a persistent fabric (Hub, TCPNet) an InstanceMux
@@ -44,14 +45,21 @@ var (
 // fabric's inboxes (sessions stop their idle-slot drainers first); readers
 // always drain, so senders can never wedge on a decided instance.
 type InstanceMux struct {
-	fab   MuxFabric
-	stop  chan struct{}
-	wg    sync.WaitGroup
-	stale atomic.Uint64
+	fab      MuxFabric
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stale    atomic.Uint64
+	obsStale *obs.Counter
 
 	mu     sync.Mutex
 	insts  map[uint64]*MuxInstance
 	closed bool
+}
+
+// Observe mirrors the mux's stale-frame count into the recorder's
+// mux.stale_frames counter. Nil recorder leaves the hook a free no-op.
+func (m *InstanceMux) Observe(rec *obs.Recorder) {
+	m.obsStale = rec.Counter("mux.stale_frames")
 }
 
 // NewInstanceMux attaches a mux to the fabric and starts its per-slot
@@ -107,6 +115,7 @@ func (m *InstanceMux) route(id node.ID, f Frame) {
 
 func (m *InstanceMux) discard(id node.ID, buf []byte) {
 	m.stale.Add(1)
+	m.obsStale.Inc()
 	m.fab.Recycle(id, buf)
 }
 

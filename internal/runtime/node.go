@@ -9,6 +9,7 @@ import (
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 	"delphi/internal/wire"
 )
 
@@ -48,6 +49,12 @@ type Driver struct {
 	pend      [][][]byte // per-destination frames awaiting flush
 	pendCount int
 	scratch   []byte // envelope build buffer, reused across flushes
+
+	// Observability handles; all nil (and every call on them free) unless
+	// WithDriverObs attached a recorder.
+	obsTrack       *obs.Track
+	obsFlushes     *obs.Counter
+	obsFlushFrames *obs.Counter
 }
 
 // DriverOption customises a Driver.
@@ -58,6 +65,18 @@ type DriverOption func(*Driver)
 // benchmarks and bisection.
 func WithDriverBatching(on bool) DriverOption {
 	return func(d *Driver) { d.batch = on }
+}
+
+// WithDriverObs attaches a recorder and this node's trace track. The track
+// is exposed to the process via node.Tracing, so protocol-phase spans land
+// on it; the driver itself emits flush instants and batch counters. A nil
+// recorder (the default) keeps every hot-path hook a nil no-op.
+func WithDriverObs(rec *obs.Recorder, track *obs.Track) DriverOption {
+	return func(d *Driver) {
+		d.obsTrack = track
+		d.obsFlushes = rec.Counter("driver.flushes")
+		d.obsFlushFrames = rec.Counter("driver.flush_frames")
+	}
 }
 
 // NewDriver wires a process to a transport. The auth verifies inbound
@@ -96,6 +115,10 @@ type driverEnv struct {
 func (e *driverEnv) Self() node.ID { return e.d.id }
 func (e *driverEnv) N() int        { return e.d.cfg.N }
 func (e *driverEnv) F() int        { return e.d.cfg.F }
+
+// Track implements node.Tracing: the process's phase spans share the
+// driver's per-node track (nil when observability is off).
+func (e *driverEnv) Track() *obs.Track { return e.d.obsTrack }
 
 func (e *driverEnv) Send(to node.ID, m node.Message) {
 	d := e.d
@@ -165,6 +188,9 @@ func (d *Driver) flush() {
 	if d.pendCount == 0 {
 		return
 	}
+	d.obsFlushes.Inc()
+	d.obsFlushFrames.Add(int64(d.pendCount))
+	d.obsTrack.Instant("driver.flush", int64(d.pendCount), 0)
 	for to := range d.pend {
 		frames := d.pend[to]
 		if len(frames) == 0 {

@@ -38,6 +38,7 @@ import (
 
 	"delphi/internal/auth"
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // Frame is a received, already-authenticated message frame.
@@ -81,9 +82,21 @@ type Recycler interface {
 // node's inbox is a FIFO ring that grows under bursts, so per-link send
 // order is delivery order and senders never block or park.
 type Hub struct {
-	n     int
-	inbox []*inbox
-	drops atomic.Uint64
+	n        int
+	inbox    []*inbox
+	drops    atomic.Uint64
+	obsDrops *obs.Counter
+}
+
+// Observe mirrors the hub's drop counter and inbox high-water marks into
+// the recorder (metric names transport.drops, transport.inbox_high_water).
+// Call before traffic starts; a nil recorder leaves the hooks free no-ops.
+func (h *Hub) Observe(rec *obs.Recorder) {
+	h.obsDrops = rec.Counter("transport.drops")
+	hw := rec.Gauge("transport.inbox_high_water")
+	for _, b := range h.inbox {
+		b.hw = hw
+	}
 }
 
 // NewHub creates a hub for n nodes.
@@ -174,6 +187,7 @@ func (t *hubTransport) Send(to node.ID, frame []byte) error {
 	if !box.put(Frame{From: t.id, Data: sealed}) {
 		// Closed hub: dropping is correct (the run is over), but counted.
 		t.hub.drops.Add(1)
+		t.hub.obsDrops.Inc()
 	}
 	return nil
 }
@@ -216,6 +230,10 @@ type tcpTransport struct {
 	// failed mid-frame, an oversized frame, or a frame that raced shutdown
 	// after its connection had already delivered it.
 	drops atomic.Uint64
+
+	// Observability handles (see observe); nil means off and free.
+	obsDrops *obs.Counter
+	obsDials *obs.Track
 
 	// peers holds per-destination dial/write state. Each slot carries its
 	// own lock, so a stalled dial or a write blocked on one saturated peer
@@ -275,6 +293,21 @@ func NewTCP(self node.ID, addrs []string, ln net.Listener, a *auth.Auth) Transpo
 	return newTCPCore(self, addrs, ln, a, nil)
 }
 
+// Observe attaches this core's drop counter, dial events, and inbox
+// high-water mark to the recorder. dials is the shared track dial
+// completions land on (shared because dials run on whichever sender
+// goroutine finds the connection missing); nil lets the core make its
+// own, and callers observing several cores pass one so all dials line up
+// on a single "transport" row.
+func (t *tcpTransport) Observe(rec *obs.Recorder, dials *obs.Track) {
+	if dials == nil {
+		dials = rec.SharedTrack("transport")
+	}
+	t.obsDrops = rec.Counter("transport.drops")
+	t.obsDials = dials
+	t.in.hw = rec.Gauge("transport.inbox_high_water")
+}
+
 // NewTCPDial is NewTCP with an injected dialer (nil means net.Dial).
 func NewTCPDial(self node.ID, addrs []string, ln net.Listener, a *auth.Auth, dial DialFunc) Transport {
 	return newTCPCore(self, addrs, ln, a, dial)
@@ -331,6 +364,7 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		n := binary.LittleEndian.Uint32(hdr[4:])
 		if n > 64<<20 {
 			t.drops.Add(1) // oversized frame: drop the connection
+			t.obsDrops.Inc()
 			return
 		}
 		buf := t.in.getBuf(int(n))
@@ -340,11 +374,13 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 			// frame). Count it so cross-backend disagreement investigations
 			// can rule transport loss in or out.
 			t.drops.Add(1)
+			t.obsDrops.Inc()
 			t.in.recycle(buf)
 			return
 		}
 		if !t.in.put(Frame{From: from, Data: buf}) {
 			t.drops.Add(1) // fully received, then raced shutdown
+			t.obsDrops.Inc()
 			return
 		}
 	}
@@ -379,6 +415,7 @@ func (t *tcpTransport) connTo(to node.ID, pc *peerConn) (net.Conn, error) {
 	t.dialed[to] = c
 	t.mu.Unlock()
 	pc.c = c
+	t.obsDials.Instant("tcp.dial", int64(t.self), int64(to))
 	return c, nil
 }
 
@@ -514,6 +551,17 @@ func NewTCPNet(n int) (*TCPNet, error) {
 
 // N returns the fabric's node count.
 func (p *TCPNet) N() int { return len(p.cores) }
+
+// Observe attaches the recorder to every core: transport.drops counts lost
+// inbound frames across the fabric, transport.inbox_high_water ratchets the
+// deepest inbox backlog, and dial completions land on a shared "transport"
+// track. Call before traffic starts; nil recorder leaves the hooks free.
+func (p *TCPNet) Observe(rec *obs.Recorder) {
+	dials := rec.SharedTrack("transport")
+	for _, c := range p.cores {
+		c.Observe(rec, dials)
+	}
+}
 
 // Endpoint returns node id's transport view for one epoch (cluster run),
 // sealing outbound frames with a. Closing the view is a no-op — the fabric

@@ -1,0 +1,67 @@
+package sim_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"delphi/internal/obs"
+	"delphi/internal/sim"
+)
+
+// BenchmarkSimParallelObsOverhead measures what an attached recorder costs
+// the n=1000 parallel sim cell (the BenchmarkSimParallel scale point, 8
+// workers): with tracing on, every delivery stores the virtual clock for
+// the per-node tracks and each window boundary emits one instant. Both
+// lanes run inside every iteration, and the order within an iteration
+// alternates — whichever lane runs first in a pair tends to read faster
+// (cache and frequency warm-up drift), and alternation cancels that bias
+// instead of charging it to the second lane. Each lane also runs once
+// untimed before the clock starts: the first run on a fresh scratch pays
+// slab allocation and heap growth for the whole lane, and with only a
+// handful of timed iterations that one cold run would otherwise swamp the
+// mean (an A/A control with both lanes untraced read ±15% without the
+// warm-up, ±2% with it). The traced lane gets a fresh recorder per run so
+// trace memory never compounds across iterations. scripts/bench.sh records
+// off/on ns/event and gates the ratio at ≤ 1.05 in BENCH_9.json.
+func BenchmarkSimParallelObsOverhead(b *testing.B) {
+	const n, rounds = 1000, 3
+	offScratch := &sim.Scratch{}
+	onScratch := &sim.Scratch{}
+	var offEvents, onEvents int
+	var offTime, onTime time.Duration
+	runOff := func() {
+		runtime.GC()
+		start := time.Now()
+		offEvents += runFloodN(b, n, rounds, 7,
+			sim.WithScratch(offScratch), sim.WithParallelWindow(8))
+		offTime += time.Since(start)
+	}
+	runOn := func() {
+		runtime.GC()
+		rec := obs.New()
+		start := time.Now()
+		onEvents += runFloodN(b, n, rounds, 7,
+			sim.WithScratch(onScratch), sim.WithParallelWindow(8), sim.WithRecorder(rec))
+		onTime += time.Since(start)
+	}
+	runFloodN(b, n, rounds, 7, sim.WithScratch(offScratch), sim.WithParallelWindow(8))
+	runFloodN(b, n, rounds, 7,
+		sim.WithScratch(onScratch), sim.WithParallelWindow(8), sim.WithRecorder(obs.New()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			runOff()
+			runOn()
+		} else {
+			runOn()
+			runOff()
+		}
+	}
+	b.StopTimer()
+	offNS := float64(offTime.Nanoseconds()) / float64(offEvents)
+	onNS := float64(onTime.Nanoseconds()) / float64(onEvents)
+	b.ReportMetric(offNS, "off_ns/event")
+	b.ReportMetric(onNS, "on_ns/event")
+	b.ReportMetric(onNS/offNS, "tracing_overhead")
+}

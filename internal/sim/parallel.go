@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 const (
@@ -113,6 +114,14 @@ type parRunner struct {
 	work    []chan winCmd
 	done    chan int
 	closed  bool
+
+	// Observability: the coordinator's "sim" track records one instant per
+	// window (width and event count — both deterministic across worker
+	// counts); the wall-clock barrier wait goes to the metrics registry
+	// only, never the trace.
+	simTrack *obs.Track
+	obsNow   int64
+	barrier  *obs.Histogram
 }
 
 // shard is one worker's slice of the simulation: a contiguous node range,
@@ -150,6 +159,12 @@ type shard struct {
 
 	events int
 	lastAt time.Duration
+
+	// Observability: per-node tracks for this shard's node range, driven by
+	// the shard's own virtual clock (single-writer: only this shard's worker
+	// delivers to its nodes). nil when disabled.
+	tracks []*obs.Track
+	obsNow int64
 
 	// retained-capacity peaks for the scratch shrink rule
 	bucketPeak   int
@@ -289,6 +304,24 @@ func (r *Runner) setupParallel(seed int64) error {
 		sh.stagedPeak = 0
 		sh.overflowPeak = 0
 		sh.outPeak = 0
+		sh.tracks = nil
+		sh.obsNow = 0
+	}
+	if r.rec != nil {
+		// Track creation order is the determinism anchor: "sim" first, then
+		// the nodes in global ID order (shards cover contiguous ranges), so
+		// the exported track layout is independent of the worker count.
+		pr.simTrack = r.rec.NewTrack("sim", &pr.obsNow)
+		pr.barrier = r.rec.Histogram("sim.barrier_wait_ns")
+		r.tracks = make([]*obs.Track, n)
+		for _, sh := range ps.shards {
+			sh.tracks = make([]*obs.Track, sh.hi-sh.lo)
+			for i := sh.lo; i < sh.hi; i++ {
+				t := r.rec.NewTrack(fmt.Sprintf("node-%d", i), &sh.obsNow)
+				sh.tracks[i-sh.lo] = t
+				r.tracks[i] = t
+			}
+		}
 	}
 	r.par = pr
 	return nil
@@ -308,14 +341,39 @@ func (pr *parRunner) runWindows() {
 	// A window's events start at b*width, so once b*width passes the time
 	// bound every remaining event is beyond it.
 	maxBucket := int64(r.maxTime / pr.width)
+	prevEvents := 0
 	for k := int64(1); b != math.MaxInt64 && b <= maxBucket && r.live > 0; k++ {
+		bucket := b
 		pr.issue(winCmd{k: k, bucket: b})
+		var t0 time.Time
+		if pr.simTrack != nil {
+			t0 = time.Now()
+		}
 		b = pr.collect()
+		if pr.simTrack != nil {
+			// Wall-clock wait is non-deterministic: metrics registry only.
+			pr.barrier.Observe(time.Since(t0).Nanoseconds())
+			total := 0
+			for _, sh := range pr.shards {
+				total += sh.events
+			}
+			// Window start time and per-window event totals are pure
+			// schedule facts — identical across reruns and worker counts —
+			// so they may enter the trace.
+			pr.obsNow = int64(time.Duration(bucket) * pr.width)
+			pr.simTrack.Instant("sim.window", int64(pr.width), int64(total-prevEvents))
+			prevEvents = total
+		}
 	}
 	for _, sh := range pr.shards {
 		r.events += sh.events
 		if sh.lastAt > r.now {
 			r.now = sh.lastAt
+		}
+		if pr.simTrack != nil {
+			// Per-shard totals depend on the shard layout (worker count), so
+			// they live in the metrics registry, not the trace.
+			r.rec.Gauge(fmt.Sprintf("sim.shard.%d.events", sh.id)).Set(int64(sh.events))
 		}
 	}
 }
@@ -402,6 +460,7 @@ func (pr *parRunner) runCmd(sh *shard, cmd winCmd) {
 // (parity 0); curBucket == -1 admits any future bucket.
 func (sh *shard) runInit() {
 	r := sh.pr.r
+	sh.obsNow = 0
 	for i := sh.lo; i < sh.hi; i++ {
 		if r.procs[i] == nil {
 			continue
@@ -614,6 +673,7 @@ func (sh *shard) nextBucket(from int64) int64 {
 // Runner.deliver; run-termination is the coordinator's job).
 func (sh *shard) deliver(e *event) {
 	r := sh.pr.r
+	sh.obsNow = int64(e.at)
 	to := e.to
 	if r.nodes[to].halted || r.procs[to] == nil {
 		return
@@ -771,6 +831,15 @@ type parEnv struct {
 func (e *parEnv) Self() node.ID { return e.id }
 func (e *parEnv) N() int        { return e.sh.pr.r.cfg.N }
 func (e *parEnv) F() int        { return e.sh.pr.r.cfg.F }
+
+// Track implements node.Tracing: the node's track on its shard's virtual
+// clock, or nil when no recorder is attached.
+func (e *parEnv) Track() *obs.Track {
+	if e.sh.tracks == nil {
+		return nil
+	}
+	return e.sh.tracks[int(e.id)-e.sh.lo]
+}
 
 func (e *parEnv) Send(to node.ID, m node.Message) {
 	e.sh.stageSend(e.id, to, m)

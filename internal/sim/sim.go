@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"delphi/internal/node"
+	"delphi/internal/obs"
 )
 
 // event is a message delivery scheduled at a virtual time. Events are
@@ -380,6 +381,13 @@ type Runner struct {
 	macBytes  int
 	hasUplink bool
 
+	// Observability (WithRecorder): one trace track per node on the
+	// virtual clock. obsNow is the sequential loop's clock target; each
+	// parallel shard keeps its own. tracks == nil means disabled.
+	rec    *obs.Recorder
+	tracks []*obs.Track
+	obsNow int64
+
 	// current delivery context
 	curNode    node.ID
 	curCharge  node.ComputeCost
@@ -420,6 +428,16 @@ func WithMaxTime(d time.Duration) Option {
 // this option: its window executor already processes whole time windows.
 func WithBatchedDelivery() Option {
 	return func(rn *Runner) { rn.batched = true }
+}
+
+// WithRecorder attaches an observability recorder: the runner creates one
+// trace track per node driven by the virtual clock (timestamps are delivery
+// times, so a fixed-seed run's trace is byte-identical across reruns — and,
+// in parallel mode, across worker counts). A nil recorder leaves tracing
+// disabled at zero cost. The recorder must not be shared by concurrently
+// running Runners.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(rn *Runner) { rn.rec = rec }
 }
 
 // WithScratch reuses the storage in s across runs; see Scratch.
@@ -523,6 +541,12 @@ func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Proces
 	for i := range r.envs {
 		r.envs[i] = simEnv{r: r, id: node.ID(i)}
 	}
+	if r.rec != nil {
+		r.tracks = make([]*obs.Track, cfg.N)
+		for i := range r.tracks {
+			r.tracks[i] = r.rec.NewTrack(fmt.Sprintf("node-%d", i), &r.obsNow)
+		}
+	}
 	return r, nil
 }
 
@@ -536,6 +560,15 @@ type simEnv struct {
 func (e *simEnv) Self() node.ID { return e.id }
 func (e *simEnv) N() int        { return e.r.cfg.N }
 func (e *simEnv) F() int        { return e.r.cfg.F }
+
+// Track implements node.Tracing: the node's virtual-clock trace track, or
+// nil when no recorder is attached.
+func (e *simEnv) Track() *obs.Track {
+	if e.r.tracks == nil {
+		return nil
+	}
+	return e.r.tracks[e.id]
+}
 
 func (e *simEnv) Send(to node.ID, m node.Message) {
 	e.r.stageSend(e.id, to, m)
@@ -657,6 +690,7 @@ func (r *Runner) endStep(id node.ID, t, base time.Duration) {
 // over (time bound hit or every live process halted).
 func (r *Runner) deliver(e *event) bool {
 	r.now = e.at
+	r.obsNow = int64(e.at)
 	if r.now > r.maxTime {
 		return false
 	}
@@ -703,6 +737,15 @@ func (r *Runner) Run() *Result {
 	for i := range r.stats {
 		res.TotalBytes += r.stats[i].BytesSent
 		res.TotalMsgs += r.stats[i].MsgsSent
+	}
+	if r.rec != nil {
+		// Whole-run totals for the metrics registry: pure schedule facts, so
+		// they are identical across reruns (and, in parallel mode, across
+		// worker counts — unlike the per-shard sim.shard.* diagnostics).
+		r.rec.Counter("sim.events").Add(int64(res.Events))
+		r.rec.Counter("sim.messages").Add(int64(res.TotalMsgs))
+		r.rec.Counter("sim.bytes").Add(res.TotalBytes)
+		r.rec.Gauge("sim.virtual_ns").Max(int64(r.now))
 	}
 	if s := r.scratch; s != nil {
 		// Hand the buffers back for the next run, shrunk where this run's

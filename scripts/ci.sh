@@ -130,4 +130,32 @@ fi
 echo "== tcp service soak (-race) =="
 go test ./internal/backend -race -short -count=1 -run 'TestServiceTCPSoak'
 
+# Observability gates, all explicit so a trimmed test invocation above can
+# never silently drop them:
+#   1. Trace determinism (Go level): a fixed-seed sim run's exported trace
+#      is byte-identical across reruns and across parallel worker counts,
+#      clean and under the jitter-storm adversary — and attaching the
+#      recorder moves no result bit (the disabled-tracing golden check:
+#      traced and untraced runs produce identical golden lines, on top of
+#      the sim byte-identity gate above which runs entirely untraced).
+#   2. Span decomposition + accounting identity on the service model.
+#   3. Zero-alloc regression on the disabled driver/transport hot paths.
+#   4. Trace determinism (CLI level): the `trace` target's exported
+#      Perfetto JSON is byte-identical across -sim-workers 1/4/8.
+echo "== observability gate =="
+go test ./internal/bench -count=1 \
+    -run 'TestSimTraceDeterminism|TestServiceSimSpanDecomposition|TestServiceSimMetricsAccounting|TestRunStatsMetricsSnapshot'
+go test ./internal/runtime -count=1 -run 'TestDisabledObs'
+tr1=$(mktemp)
+tr2=$(mktemp)
+trap 'rm -f "$adv1" "$adv2" "${svc1:-}" "${svc2:-}" "$tr1" "$tr2"' EXIT
+go run ./cmd/experiments -scale quick -seed 1 -sim-workers 1 -run trace -trace "$tr1" > /dev/null
+for w in 4 8; do
+    go run ./cmd/experiments -scale quick -seed 1 -sim-workers "$w" -run trace -trace "$tr2" > /dev/null
+    if ! cmp -s "$tr1" "$tr2"; then
+        echo "trace bytes differ between -sim-workers 1 and $w" >&2
+        exit 1
+    fi
+done
+
 echo "CI OK"
