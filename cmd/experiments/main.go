@@ -9,9 +9,11 @@
 //	            [-service-rounds N] [-service-rate R] [-service-window W]
 //	            [-service-queue Q] [-service-duration D] [-service-arrivals poisson|bursty]
 //	            [-trace out.json] [-metrics out|-] [-pprof addr]
+//	            [-worstcase-objective latency|spread|events|bytes]
+//	            [-worstcase-replay] [-worstcase-trace prefix]
 //	            [table1 table2 table3 fig4 fig5 fig6a fig6b fig6c fig7
 //	             validity tail matrix adversary backends sessions service
-//	             trace scale ablations | all]
+//	             trace scale ablations worstcase | all]
 //
 // Targets are selected positionally or with -run (comma-separated); the
 // two compose. Quick scale (default) runs reduced node counts and finishes
@@ -62,6 +64,19 @@
 // target runs one instrumented simulator trial; its trace bytes are
 // identical across reruns and -sim-workers counts. -pprof serves
 // net/http/pprof on the given address for profiling live runs.
+//
+// The worstcase target searches the adversary space (kind × severity ×
+// onset × adaptivity) for each protocol's empirical worst case on the
+// simulator — successive halving plus simulated annealing, every probe
+// seeded from -seed — and prints the resulting profiles: the winning
+// configuration, its score against clean and the best fixed preset, and
+// the search trajectory. The output is byte-identical across reruns and
+// -sim-workers counts (scripts/ci.sh gates exactly that).
+// -worstcase-objective picks the maximised damage metric;
+// -worstcase-trace PREFIX writes each winner's evidence trace to
+// PREFIX-<protocol>.json; -worstcase-replay validates each winner on the
+// loopback-tcp backend (deadline-bounded, wall-clock, non-deterministic —
+// the replay lines print only under this flag).
 package main
 
 import (
@@ -78,6 +93,7 @@ import (
 	// Register the live execution backends (live, tcp) with bench.
 	_ "delphi/internal/backend"
 
+	"delphi/internal/advsearch"
 	"delphi/internal/bench"
 	"delphi/internal/core"
 	"delphi/internal/dist"
@@ -96,6 +112,13 @@ var svcFlags = struct {
 	duration time.Duration
 	arrivals string
 }{rounds: 200, rate: 100, window: 4, queue: 16, arrivals: "poisson"}
+
+// worstFlags carries the worstcase target's knobs.
+var worstFlags = struct {
+	objective string
+	replay    bool
+	trace     string
+}{objective: "latency"}
 
 // obsRec is the run's shared recorder, created when -trace or -metrics asks
 // for one; the instrumented targets (service, trace) attach it. Nil keeps
@@ -124,6 +147,9 @@ func run(args []string) error {
 	fs.IntVar(&svcFlags.queue, "service-queue", svcFlags.queue, "service target: waiting-room bound; overflow is shed")
 	fs.DurationVar(&svcFlags.duration, "service-duration", svcFlags.duration, "service target: wall-clock cap on a live run (0 = none)")
 	fs.StringVar(&svcFlags.arrivals, "service-arrivals", svcFlags.arrivals, "service target: interarrival law, poisson or bursty")
+	fs.StringVar(&worstFlags.objective, "worstcase-objective", worstFlags.objective, "worstcase target: maximised metric, latency, spread, events, or bytes")
+	fs.BoolVar(&worstFlags.replay, "worstcase-replay", worstFlags.replay, "worstcase target: validate each winner on the loopback-tcp backend (wall-clock)")
+	fs.StringVar(&worstFlags.trace, "worstcase-trace", worstFlags.trace, "worstcase target: write each winner's evidence trace to PREFIX-<protocol>.json")
 	traceFlag := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the instrumented targets")
 	metricsFlag := fs.String("metrics", "", "write the metrics snapshot: '-' for text on stdout, *.json for JSON, else text to the path")
 	pprofFlag := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -321,8 +347,10 @@ func runTarget(target string, scale bench.Scale, seed int64) (string, error) {
 		return rep.Text, nil
 	case "ablations":
 		return runAblations(seed)
+	case "worstcase":
+		return runWorstcase(scale, seed)
 	default:
-		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, trace, scale, ablations)")
+		return "", fmt.Errorf("unknown target (want table1..3, fig4..7, validity, tail, matrix, adversary, backends, sessions, service, trace, scale, ablations, worstcase)")
 	}
 }
 
@@ -548,6 +576,52 @@ func runMatrix(scale bench.Scale, seed int64) (string, error) {
 	for _, c := range cells {
 		fmt.Fprintf(&b, "  %-36s %10.0f %10.2f %10.3g\n",
 			c.Scenario.Name, c.Agg.LatencyMS.Mean(), c.Agg.MB.Mean(), c.Agg.Spread.Mean())
+	}
+	return b.String(), nil
+}
+
+// runWorstcase searches the adversary space for each protocol's empirical
+// worst case and prints the profiles. Everything printed here is a pure
+// function of (scale, seed, objective) on the simulator; the tcp replay
+// lines are real wall-clock measurements and print only under
+// -worstcase-replay so the deterministic output stays gateable.
+func runWorstcase(scale bench.Scale, seed int64) (string, error) {
+	protos := []bench.Protocol{bench.ProtoDelphi, bench.ProtoFIN}
+	n, rungs, anneal := 8, 3, 6
+	if scale != bench.Quick {
+		protos = append(protos, bench.ProtoAbraham)
+		n, anneal = 16, 12
+	}
+	var b strings.Builder
+	for _, proto := range protos {
+		p, err := advsearch.Search(advsearch.Config{
+			Protocol:    proto,
+			N:           n,
+			Seed:        seed,
+			Objective:   advsearch.Objective(worstFlags.objective),
+			Rungs:       rungs,
+			AnnealSteps: anneal,
+		})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(p.Text())
+		if worstFlags.trace != "" {
+			path := fmt.Sprintf("%s-%s.json", worstFlags.trace, proto)
+			if err := os.WriteFile(path, p.Trace, 0o644); err != nil {
+				return "", fmt.Errorf("write evidence trace: %w", err)
+			}
+			fmt.Fprintf(&b, "  [evidence trace: %d events -> %s]\n", p.TraceEvents, path)
+		}
+		if worstFlags.replay {
+			res, err := p.ReplayTCP(advsearch.ReplayConfig{})
+			if err != nil {
+				return "", fmt.Errorf("tcp replay: %w", err)
+			}
+			fmt.Fprintf(&b, "  replay  clean=%s worst=%s degraded=%v (attempts %d, scored %d, timed out %d)\n",
+				res.CleanWall.Round(time.Millisecond), res.WorstWall.Round(time.Millisecond),
+				res.Degraded, res.Attempts, res.Scored, res.TimedOut)
+		}
 	}
 	return b.String(), nil
 }

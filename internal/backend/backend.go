@@ -31,6 +31,7 @@ import (
 	"delphi/internal/codec"
 	"delphi/internal/node"
 	"delphi/internal/runtime"
+	"delphi/internal/sim"
 	"delphi/internal/wire"
 )
 
@@ -156,8 +157,19 @@ func newTrialScaffold(spec bench.RunSpec, timeout time.Duration) (*trialScaffold
 		timeout = DefaultTimeout
 	}
 	reg := codec.MustRegistry()
-	rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed)
-	wrap, acct := newAdvWrapper(rule, reg)
+	var (
+		rule sim.DelayRule
+		hist *liveHistory
+	)
+	if spec.Adversary.NeedsHistory() {
+		// Adaptive adversaries observe the cluster's own forwarded-frame
+		// counts; the wrappers feed the history as they release frames.
+		hist = newLiveHistory(spec.N)
+		rule = spec.Adversary.RuleWith(spec.N, spec.F, spec.Seed, hist)
+	} else {
+		rule = spec.Adversary.Rule(spec.N, spec.F, spec.Seed)
+	}
+	wrap, acct := newAdvWrapper(rule, reg, hist)
 	honest := make([]node.ID, 0, spec.N)
 	for _, i := range spec.HonestSlots() {
 		honest = append(honest, node.ID(i))

@@ -38,6 +38,7 @@ type advTransport struct {
 	reg   *wire.Registry
 	start time.Time
 	acct  *traffic
+	hist  *liveHistory // nil unless the adversary is adaptive
 
 	mu     sync.Mutex
 	closed bool
@@ -49,8 +50,11 @@ var _ runtime.Transport = (*advTransport)(nil)
 var _ runtime.Recycler = (*advTransport)(nil)
 
 // newAdvWrapper returns a TransportWrapper installing an advTransport on
-// every node, all sharing one wall clock and one traffic accumulator.
-func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry) (runtime.TransportWrapper, *traffic) {
+// every node, all sharing one wall clock, one traffic accumulator, and —
+// for adaptive adversaries — one delivered-message history (hist may be
+// nil). Frames are recorded into the history when they are forwarded past
+// the adversary, so the rule observes the traffic it has actually released.
+func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry, hist *liveHistory) (runtime.TransportWrapper, *traffic) {
 	acct := &traffic{}
 	start := time.Now()
 	wrap := func(id node.ID, tr runtime.Transport) runtime.Transport {
@@ -63,6 +67,7 @@ func newAdvWrapper(rule sim.DelayRule, reg *wire.Registry) (runtime.TransportWra
 			reg:   reg,
 			start: start,
 			acct:  acct,
+			hist:  hist,
 			done:  make(chan struct{}),
 		}
 	}
@@ -86,7 +91,16 @@ func (t *advTransport) Send(to node.ID, frame []byte) error {
 		t.sendLater(to, append([]byte(nil), frame...), d)
 		return nil
 	}
+	t.record(to)
 	return t.inner.Send(to, frame)
+}
+
+// record notes one frame forwarded past the adversary in the shared
+// delivered-message history.
+func (t *advTransport) record(to node.ID) {
+	if t.hist != nil {
+		t.hist.record(t.self, to)
+	}
 }
 
 // delayFor evaluates the adversary rule against one protocol frame.
@@ -118,6 +132,7 @@ func (t *advTransport) sendBatch(to node.ID, frame []byte) error {
 			t.sendLater(to, append([]byte(nil), inner...), d)
 			delayed = true
 		} else {
+			t.record(to)
 			pass = append(pass, inner)
 		}
 		return true
@@ -151,6 +166,7 @@ func (t *advTransport) sendLater(to node.ID, frame []byte, d time.Duration) {
 		defer timer.Stop()
 		select {
 		case <-timer.C:
+			t.record(to)
 			_ = t.inner.Send(to, frame)
 		case <-t.done:
 		}

@@ -1,0 +1,123 @@
+package backend
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delphi/internal/node"
+	"delphi/internal/sim"
+)
+
+// liveRerankEvery bounds how often the hot-sender ranking is recomputed:
+// once per this many recorded frames, so the delay hot path stays at an
+// atomic add and the ranking cost is amortised across the run.
+const liveRerankEvery = 64
+
+// liveHistory is the live backends' sim.HistoryView: the delivered-frame
+// counts the advTransport wrappers accumulate, shared across every node of
+// one cluster. Unlike the simulator's epoch-committed History it advances
+// continuously on wall-clock delivery order, so adaptive rules on live
+// backends react to real traffic but give up byte-reproducibility — exactly
+// the guarantee split live runs already have everywhere else.
+type liveHistory struct {
+	n         int
+	delivered atomic.Int64
+	sent      []atomic.Int64
+	recv      []atomic.Int64
+
+	// Ranking cache, recomputed at most once per liveRerankEvery recorded
+	// frames. Guarded by mu; readers are the delay rules, which tolerate a
+	// slightly stale ranking (any committed prefix is a valid observation).
+	mu       sync.Mutex
+	rankedAt int64
+	hot      []node.ID
+	rank     []int32
+}
+
+var _ sim.HistoryView = (*liveHistory)(nil)
+
+// newLiveHistory returns an empty history for an n-node cluster with the
+// identity ranking.
+func newLiveHistory(n int) *liveHistory {
+	h := &liveHistory{
+		n:    n,
+		sent: make([]atomic.Int64, n),
+		recv: make([]atomic.Int64, n),
+		hot:  make([]node.ID, n),
+		rank: make([]int32, n),
+	}
+	for i := range h.hot {
+		h.hot[i] = node.ID(i)
+		h.rank[i] = int32(i)
+	}
+	return h
+}
+
+// record notes one frame forwarded from from to to.
+func (h *liveHistory) record(from, to node.ID) {
+	h.sent[from].Add(1)
+	h.recv[to].Add(1)
+	h.delivered.Add(1)
+}
+
+// Epoch implements sim.HistoryView; 0 marks the view as continuously
+// advancing.
+func (h *liveHistory) Epoch() time.Duration { return 0 }
+
+// Delivered implements sim.HistoryView.
+func (h *liveHistory) Delivered() int64 { return h.delivered.Load() }
+
+// SentMsgs implements sim.HistoryView.
+func (h *liveHistory) SentMsgs(from node.ID) int64 { return h.sent[from].Load() }
+
+// RecvMsgs implements sim.HistoryView.
+func (h *liveHistory) RecvMsgs(to node.ID) int64 { return h.recv[to].Load() }
+
+// HotRank implements sim.HistoryView.
+func (h *liveHistory) HotRank(id node.ID) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.refreshLocked()
+	return int(h.rank[id])
+}
+
+// HotSender implements sim.HistoryView.
+func (h *liveHistory) HotSender(rank int) node.ID {
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.refreshLocked()
+	return h.hot[rank]
+}
+
+// refreshLocked recomputes the ranking when enough new frames have been
+// recorded since the last refresh (same order as sim.History: sent count
+// descending, ties by lower ID).
+func (h *liveHistory) refreshLocked() {
+	d := h.delivered.Load()
+	if d == 0 || d-h.rankedAt < liveRerankEvery && h.rankedAt != 0 {
+		return
+	}
+	h.rankedAt = d
+	counts := make([]int64, h.n)
+	for i := range counts {
+		counts[i] = h.sent[i].Load()
+		h.hot[i] = node.ID(i)
+	}
+	sort.Slice(h.hot, func(a, b int) bool {
+		if counts[h.hot[a]] != counts[h.hot[b]] {
+			return counts[h.hot[a]] > counts[h.hot[b]]
+		}
+		return h.hot[a] < h.hot[b]
+	})
+	for r, id := range h.hot {
+		h.rank[id] = int32(r)
+	}
+}

@@ -38,6 +38,26 @@ type AdversaryReport struct {
 // reruns and worker counts because each adversary's schedule is a pure
 // function of the trial seed.
 func AdversarySweep(scale Scale, seed int64) (*AdversaryReport, error) {
+	return AdversarySweepOver(scale, seed, adversaryAxis())
+}
+
+// AdversarySweepOver is AdversarySweep over an arbitrary adversary column
+// set — any parameterisation expressible as netadv.Adversary fields
+// (severity, placement, adaptivity, onset), not just the named presets.
+// advs[0] is the baseline column the slowdown factors are rendered against;
+// pass the zero Adversary there for a clean baseline. The worst-case search
+// (internal/advsearch) feeds its found configurations through this entry
+// point, so searched and preset adversaries share one measurement path.
+// Adaptive columns render as "…/adv=<kind>@adaptive" in cell names.
+func AdversarySweepOver(scale Scale, seed int64, advs []netadv.Adversary) (*AdversaryReport, error) {
+	if len(advs) == 0 {
+		return nil, fmt.Errorf("bench: adversary sweep needs at least one column")
+	}
+	for _, adv := range advs {
+		if err := adv.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
 	n, trials := 8, 1
 	protos := []Protocol{ProtoDelphi, ProtoFIN}
 	switch scale {
@@ -50,7 +70,7 @@ func AdversarySweep(scale Scale, seed int64) (*AdversaryReport, error) {
 	}
 	rep := &AdversaryReport{
 		Protocols:   protos,
-		Adversaries: adversaryAxis(),
+		Adversaries: advs,
 		N:           n,
 		Trials:      trials,
 	}

@@ -350,7 +350,16 @@ func runSim(spec RunSpec, scratch *sim.Scratch) (*RunStats, error) {
 	if spec.Obs != nil {
 		opts = append(opts, sim.WithRecorder(spec.Obs))
 	}
-	if rule := spec.Adversary.Rule(spec.N, spec.F, spec.Seed); rule != nil {
+	var hv sim.HistoryView
+	if spec.Adversary.NeedsHistory() {
+		// Adaptive adversaries read the run's own delivered-message history;
+		// a fresh per-run History keeps adaptive runs pure functions of the
+		// committed schedule (byte-identical across reruns/worker counts).
+		hist := sim.NewHistory(spec.N, netadv.HistoryEpoch)
+		opts = append(opts, sim.WithHistory(hist))
+		hv = hist
+	}
+	if rule := spec.Adversary.RuleWith(spec.N, spec.F, spec.Seed, hv); rule != nil {
 		opts = append(opts, sim.WithDelayRule(rule))
 	}
 	if scratch != nil {

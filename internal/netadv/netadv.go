@@ -107,7 +107,9 @@ func (p Placement) String() string {
 }
 
 // Adversary is a named, parameterised network adversary. The zero value is
-// no adversary.
+// no adversary. Every field is a plain knob, so the worst-case search
+// (internal/advsearch) and AdversarySweep share one parameterisation: a
+// point in the adversary space IS an Adversary value.
 type Adversary struct {
 	// Kind selects the preset.
 	Kind Kind
@@ -116,7 +118,30 @@ type Adversary struct {
 	// Placement selects target placement; the zero value keeps the
 	// preset's historical fixed targets.
 	Placement Placement
+	// Adaptive re-targets the preset from delivered-traffic history instead
+	// of fixed or seeded placement: SlowF slows the f hottest senders, Gray
+	// victimises the single hottest, Partition cuts hot half from cold
+	// half, CoinRush and JitterStorm concentrate on the hot half. Requires
+	// a sim.HistoryView via RuleWith; until the first history commit the
+	// rule falls back to its static placement, so the schedule is always
+	// well defined. Adaptive rules remain pure functions of the committed
+	// history, hence byte-reproducible on the sim backend.
+	Adaptive bool
+	// Onset delays the adversary's activation: the rule is inert before
+	// Onset and behaves as if the run started there after it (a partition
+	// heals at Onset+heal, not heal). Zero means active from t=0.
+	Onset time.Duration
 }
+
+// HistoryEpoch is the history commit granularity adaptive adversaries are
+// designed against: coarse enough that the hot-sender ranking is stable
+// between protocol phases, fine enough to re-target within a run.
+const HistoryEpoch = 25 * time.Millisecond
+
+// NeedsHistory reports whether materialising this adversary requires a
+// delivered-message history (sim.WithHistory on the simulator, the live
+// wrapper's counters on tcp).
+func (a Adversary) NeedsHistory() bool { return a.Adaptive && a.Kind != None }
 
 // String implements fmt.Stringer.
 func (a Adversary) String() string {
@@ -126,6 +151,12 @@ func (a Adversary) String() string {
 	}
 	if a.Placement != PlaceDefault {
 		s += "@" + a.Placement.String()
+	}
+	if a.Adaptive {
+		s += "@adaptive"
+	}
+	if a.Onset > 0 {
+		s += "@t" + a.Onset.String()
 	}
 	return s
 }
@@ -137,9 +168,11 @@ func (a Adversary) String() string {
 // causality violation — so the hint must be a floor over all placements,
 // severities, and times, not a typical delay. Every current preset leaves
 // some messages undelayed (untargeted links, healed partitions, zero
-// Pareto samples), so the floor is 0; a future always-on preset (e.g. a
-// uniform WAN stretch) would return its base delay here and buy the
-// parallel mode proportionally wider windows.
+// Pareto samples), and adaptive variants additionally leave all pre-onset
+// and pre-history traffic untouched, so the floor is 0 for every
+// configuration; a future always-on preset (e.g. a uniform WAN stretch)
+// would return its base delay here and buy the parallel mode
+// proportionally wider windows.
 func (a Adversary) Lookahead() time.Duration { return 0 }
 
 // severity returns the delay multiplier.
@@ -179,8 +212,44 @@ const (
 
 // Rule materialises the adversary for an n-node, f-fault system. It returns
 // nil for None (callers pass nil straight to sim.WithDelayRule-less runs).
-// The rule is a pure function of its arguments and the given seed.
+// The rule is a pure function of its arguments and the given seed. Adaptive
+// adversaries need a history — use RuleWith; Rule materialises them with
+// their static fallback placement.
 func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
+	return a.RuleWith(n, f, seed, nil)
+}
+
+// RuleWith materialises the adversary with a delivered-message history for
+// adaptive placement. h may be nil (or the adversary non-Adaptive), in which
+// case targets are the static fixed/seeded ones and RuleWith == Rule. The
+// returned rule reads only h's committed prefix, so on the simulator it is a
+// pure function of the schedule so far — adaptive runs stay byte-identical
+// across reruns and worker counts. Live backends hand in a continuously
+// advancing view and give up that guarantee (as live runs already do).
+func (a Adversary) RuleWith(n, f int, seed int64, h sim.HistoryView) sim.DelayRule {
+	if !a.Adaptive {
+		h = nil
+	}
+	base := a.baseRule(n, f, seed, h)
+	if base == nil || a.Onset <= 0 {
+		return base
+	}
+	onset := a.Onset
+	return func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+		if at < onset {
+			return 0
+		}
+		// Shifted time: the adversary behaves as if the run began at onset,
+		// so e.g. a partition holds during [onset, onset+heal).
+		return base(at-onset, from, to, m)
+	}
+}
+
+// baseRule builds the onset-free rule. Adaptive branches consult h only when
+// it has committed history (h.Delivered() > 0); before that they use the
+// same static targets as the non-adaptive variant, keeping the pre-history
+// prefix of the schedule identical to the static adversary's.
+func (a Adversary) baseRule(n, f int, seed int64, h sim.HistoryView) sim.DelayRule {
 	sev := a.severity()
 	scale := func(d time.Duration) time.Duration {
 		return time.Duration(float64(d) * sev)
@@ -216,6 +285,23 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 			}
 		}
 		d := scale(slowFDelay)
+		if h != nil {
+			// Adaptive: slow the `slow` hottest senders in the committed
+			// ranking — the nodes currently carrying the most protocol
+			// traffic, whatever slots they sit in.
+			return func(_ time.Duration, from, _ node.ID, _ node.Message) time.Duration {
+				if h.Delivered() == 0 {
+					if slowSet[from] {
+						return d
+					}
+					return 0
+				}
+				if h.HotRank(from) < slow {
+					return d
+				}
+				return 0
+			}
+		}
 		return func(_ time.Duration, from, _ node.ID, _ node.Message) time.Duration {
 			if slowSet[from] {
 				return d
@@ -231,11 +317,29 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 			victim = node.ID(placementRng(seed, graySalt)() % uint64(n))
 		}
 		d := scale(grayDelay)
-		return func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
-			if from == victim && (int(to)-int(victim))%2 != 0 {
-				return d
+		degraded := func(v, from, to node.ID) bool {
+			if from == v && (int(to)-int(v))%2 != 0 {
+				return true
 			}
-			if to == victim && (int(from)-int(victim))%2 != 0 {
+			return to == v && (int(from)-int(v))%2 != 0
+		}
+		if h != nil {
+			// Adaptive: gray-fail whichever node is currently the hottest
+			// sender — the worst node to degrade, since the most traffic
+			// crosses its links.
+			return func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
+				v := victim
+				if h.Delivered() > 0 {
+					v = h.HotSender(0)
+				}
+				if degraded(v, from, to) {
+					return d
+				}
+				return 0
+			}
+		}
+		return func(_ time.Duration, from, to node.ID, _ node.Message) time.Duration {
+			if degraded(victim, from, to) {
 				return d
 			}
 			return 0
@@ -258,11 +362,22 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 		}
 		heal := scale(partitionHeal)
 		stag := scale(partitionStag)
+		sameSide := func(from, to node.ID) bool { return side[from] == side[to] }
+		if h != nil {
+			// Adaptive: cut the hot half from the cold half — the
+			// bipartition that severs the most observed traffic.
+			sameSide = func(from, to node.ID) bool {
+				if h.Delivered() == 0 {
+					return side[from] == side[to]
+				}
+				return (h.HotRank(from) < n/2) == (h.HotRank(to) < n/2)
+			}
+		}
 		return func(at time.Duration, from, to node.ID, _ node.Message) time.Duration {
 			if at >= heal {
 				return 0
 			}
-			if side[from] == side[to] {
+			if sameSide(from, to) {
 				return 0
 			}
 			// Held until the heal, then released with a deterministic
@@ -275,6 +390,26 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 		}
 	case CoinRush:
 		d := scale(coinRushDelay)
+		if h != nil {
+			// Adaptive: concentrate the starvation on the nodes closest to
+			// assembling a coin — the f+1 hottest receivers would cross the
+			// share threshold first, so their shares are held twice as long.
+			return func(_ time.Duration, _, to node.ID, m node.Message) time.Duration {
+				switch m.(type) {
+				case *coin.Share:
+					if h.Delivered() > 0 && h.HotRank(to) <= f {
+						return 2 * d
+					}
+					return d
+				case *aba.Aux:
+					if h.Delivered() > 0 && h.HotRank(to) <= f {
+						return d
+					}
+					return d / 2
+				}
+				return 0
+			}
+		}
 		return func(_ time.Duration, _, _ node.ID, m node.Message) time.Duration {
 			switch m.(type) {
 			case *coin.Share:
@@ -287,12 +422,17 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 	case JitterStorm:
 		scl := float64(scale(jitterScale))
 		return func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
-			h := msgHash(seed, at, from, to, m.WireSize())
+			mh := msgHash(seed, at, from, to, m.WireSize())
 			// u uniform in (0, 1]; jitter = scale·(u^(-1/α) − 1) is Pareto
 			// with tail index α — heavy enough that the maximum over a run
 			// dominates the sum.
-			u := (float64(h>>11) + 1) / (1 << 53)
+			u := (float64(mh>>11) + 1) / (1 << 53)
 			j := time.Duration(scl * (math.Pow(1/u, jitterInvAlpha) - 1))
+			// Adaptive: the hot half of the network draws doubled jitter, so
+			// the storm lands where the traffic is.
+			if h != nil && h.Delivered() > 0 && h.HotRank(from) < n/2 {
+				j *= 2
+			}
 			if j > jitterCap {
 				j = jitterCap
 			}
@@ -305,8 +445,8 @@ func (a Adversary) Rule(n, f int, seed int64) sim.DelayRule {
 	}
 }
 
-// Validate rejects unknown kinds, negative severities, and unknown
-// placements.
+// Validate rejects unknown kinds, negative severities, unknown placements,
+// negative onsets, and adaptivity without a preset to adapt.
 func (a Adversary) Validate() error {
 	switch a.Kind {
 	case None, SlowF, Gray, Partition, CoinRush, JitterStorm:
@@ -320,6 +460,12 @@ func (a Adversary) Validate() error {
 	case PlaceDefault, PlaceSeeded:
 	default:
 		return fmt.Errorf("netadv: unknown placement %d", int(a.Placement))
+	}
+	if a.Onset < 0 {
+		return fmt.Errorf("netadv: negative onset %v", a.Onset)
+	}
+	if a.Adaptive && a.Kind == None {
+		return fmt.Errorf("netadv: adaptive set on the empty adversary")
 	}
 	return nil
 }

@@ -160,6 +160,13 @@ type shard struct {
 	events int
 	lastAt time.Duration
 
+	// Per-shard pending history counts (WithHistory): folded into the
+	// History by the coordinator at window barriers. Full length n — a
+	// delivery's sender can live on any shard. nil when no history.
+	histDelivered int64
+	histSent      []int64
+	histRecv      []int64
+
 	// Observability: per-node tracks for this shard's node range, driven by
 	// the shard's own virtual clock (single-writer: only this shard's worker
 	// delivers to its nodes). nil when disabled.
@@ -306,6 +313,19 @@ func (r *Runner) setupParallel(seed int64) error {
 		sh.outPeak = 0
 		sh.tracks = nil
 		sh.obsNow = 0
+		if r.history == nil {
+			sh.histDelivered = 0
+			sh.histSent = nil
+			sh.histRecv = nil
+		} else if len(sh.histSent) != n {
+			sh.histDelivered = 0
+			sh.histSent = make([]int64, n)
+			sh.histRecv = make([]int64, n)
+		} else {
+			sh.histDelivered = 0
+			clear(sh.histSent)
+			clear(sh.histRecv)
+		}
 	}
 	if r.rec != nil {
 		// Track creation order is the determinism anchor: "sim" first, then
@@ -344,6 +364,9 @@ func (pr *parRunner) runWindows() {
 	prevEvents := 0
 	for k := int64(1); b != math.MaxInt64 && b <= maxBucket && r.live > 0; k++ {
 		bucket := b
+		if r.history != nil {
+			pr.commitHistory(b)
+		}
 		pr.issue(winCmd{k: k, bucket: b})
 		var t0 time.Time
 		if pr.simTrack != nil {
@@ -376,6 +399,36 @@ func (pr *parRunner) runWindows() {
 			r.rec.Gauge(fmt.Sprintf("sim.shard.%d.events", sh.id)).Set(int64(sh.events))
 		}
 	}
+}
+
+// commitHistory is the parallel counterpart of History.observe: before
+// issuing window b, fold every shard's pending delivery counts into the
+// History and commit once the window's start time crosses the epoch
+// boundary. It runs in the coordinator between collect() and issue(), so the
+// channel barrier orders it after every worker's window-(b-1) writes and
+// before any worker's window-b reads — no locks, no races. The bucket
+// sequence b is independent of the worker count, so the commit schedule (and
+// with it every adaptive decision) is too.
+func (pr *parRunner) commitHistory(b int64) {
+	h := pr.r.history
+	ws := time.Duration(b) * pr.width
+	if ws < h.nextCommit {
+		return
+	}
+	for _, sh := range pr.shards {
+		if sh.histDelivered == 0 {
+			continue
+		}
+		h.pendDelivered += sh.histDelivered
+		sh.histDelivered = 0
+		for i := range sh.histSent {
+			h.pendSent[i] += sh.histSent[i]
+			h.pendRecv[i] += sh.histRecv[i]
+			sh.histSent[i] = 0
+			sh.histRecv[i] = 0
+		}
+	}
+	h.commitUpTo(ws)
 }
 
 // stop closes the worker channels once; workers drain and exit.
@@ -677,6 +730,11 @@ func (sh *shard) deliver(e *event) {
 	to := e.to
 	if r.nodes[to].halted || r.procs[to] == nil {
 		return
+	}
+	if sh.histSent != nil {
+		sh.histDelivered++
+		sh.histSent[e.from]++
+		sh.histRecv[to]++
 	}
 	sh.events++
 	r.stats[to].MsgsRecv++

@@ -142,24 +142,31 @@ func TestLookaheadViolation(t *testing.T) {
 		name      string
 		rule      sim.DelayRule
 		hint      time.Duration
+		adaptive  bool // replace rule with an adaptive netadv rule + history
 		wantPanic bool
 	}{
-		{"honest-hint", flat(3 * time.Millisecond), 3 * time.Millisecond, false},
-		{"understated-hint-is-safe", flat(3 * time.Millisecond), time.Millisecond, false},
-		{"hint-overstates-uniform-rule", flat(time.Millisecond), 3 * time.Millisecond, true},
+		{name: "honest-hint", rule: flat(3 * time.Millisecond), hint: 3 * time.Millisecond},
+		{name: "understated-hint-is-safe", rule: flat(3 * time.Millisecond), hint: time.Millisecond},
+		{name: "hint-overstates-uniform-rule", rule: flat(time.Millisecond), hint: 3 * time.Millisecond, wantPanic: true},
 		{
 			// The sneaky case: the rule honours the hint on every link but
 			// one, so the floor holds for almost all traffic.
-			"hint-broken-on-one-link",
-			func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
+			name: "hint-broken-on-one-link",
+			rule: func(at time.Duration, from, to node.ID, m node.Message) time.Duration {
 				if from == 2 && to == 5 {
 					return 0
 				}
 				return 3 * time.Millisecond
 			},
-			3 * time.Millisecond,
-			true,
+			hint:      3 * time.Millisecond,
+			wantPanic: true,
 		},
+		// Adaptive rules declare a zero lookahead floor (untargeted and
+		// pre-history traffic is undelayed): the sound hint completes, and
+		// a mis-declared positive hint on the same rule must fail loudly as
+		// a causality violation, exactly like a static rule's.
+		{name: "adaptive-rule-zero-hint", adaptive: true},
+		{name: "adaptive-rule-overstated-hint", adaptive: true, hint: 2 * time.Millisecond, wantPanic: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,10 +180,16 @@ func TestLookaheadViolation(t *testing.T) {
 				for i := range procs {
 					procs[i] = &flood{rounds: 4}
 				}
-				r, err := sim.NewRunner(node.Config{N: 8, F: 2}, sim.Local(), 9, procs,
-					sim.WithDelayRule(tc.rule),
-					sim.WithLookahead(tc.hint),
-					sim.WithParallelWindow(4))
+				opts := []sim.Option{sim.WithLookahead(tc.hint), sim.WithParallelWindow(4)}
+				rule := tc.rule
+				if tc.adaptive {
+					h := sim.NewHistory(8, netadv.HistoryEpoch)
+					adv := netadv.Adversary{Kind: netadv.SlowF, Adaptive: true}
+					rule = adv.RuleWith(8, 2, 9, h)
+					opts = append(opts, sim.WithHistory(h))
+				}
+				opts = append(opts, sim.WithDelayRule(rule))
+				r, err := sim.NewRunner(node.Config{N: 8, F: 2}, sim.Local(), 9, procs, opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -201,6 +214,69 @@ func TestLookaheadViolation(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAdaptiveHistoryDeterminism pins the adaptive-adversary contract at
+// the simulator layer: a run whose DelayRule reads the delivered-message
+// history is byte-identical across reruns AND across worker counts (the
+// history commits at worker-count-independent window barriers), the history
+// itself ends in the same state, and its accounting is internally
+// consistent (per-node sent counts sum to the committed total).
+func TestAdaptiveHistoryDeterminism(t *testing.T) {
+	const n, seed = 21, 17
+	for _, kind := range []netadv.Kind{netadv.SlowF, netadv.Gray, netadv.Partition, netadv.JitterStorm} {
+		t.Run(string(kind), func(t *testing.T) {
+			adv := netadv.Adversary{Kind: kind, Adaptive: true}
+			mk := func(workers int) (*sim.Result, *sim.History) {
+				h := sim.NewHistory(n, netadv.HistoryEpoch)
+				res := floodResult(t, n, seed,
+					sim.WithHistory(h),
+					sim.WithDelayRule(adv.RuleWith(n, (n-1)/3, seed, h)),
+					sim.WithParallelWindow(4))
+				return res, h
+			}
+			base, baseH := mk(4)
+			if baseH.Delivered() == 0 || baseH.Commits() == 0 {
+				t.Fatalf("history never committed: delivered=%d commits=%d",
+					baseH.Delivered(), baseH.Commits())
+			}
+			var sum int64
+			for i := 0; i < n; i++ {
+				sum += baseH.SentMsgs(node.ID(i))
+			}
+			if sum != baseH.Delivered() {
+				t.Fatalf("sent counts sum to %d, delivered is %d", sum, baseH.Delivered())
+			}
+			for _, workers := range []int{1, 4, 8} {
+				got, gotH := mk(workers)
+				if !resultsIdentical(got, base) {
+					t.Errorf("workers=%d: adaptive schedule diverged from workers=4", workers)
+				}
+				if gotH.Delivered() != baseH.Delivered() || gotH.Commits() != baseH.Commits() {
+					t.Errorf("workers=%d: history diverged (delivered %d vs %d, commits %d vs %d)",
+						workers, gotH.Delivered(), baseH.Delivered(), gotH.Commits(), baseH.Commits())
+				}
+				for i := 0; i < n; i++ {
+					if gotH.HotRank(node.ID(i)) != baseH.HotRank(node.ID(i)) {
+						t.Errorf("workers=%d: final ranking diverged at node %d", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHistoryNodeCountValidation pins NewRunner's rejection of a history
+// sized for a different system.
+func TestHistoryNodeCountValidation(t *testing.T) {
+	procs := make([]node.Process, 4)
+	for i := range procs {
+		procs[i] = &flood{rounds: 1}
+	}
+	h := sim.NewHistory(8, netadv.HistoryEpoch)
+	if _, err := sim.NewRunner(node.Config{N: 4, F: 1}, sim.Local(), 1, procs, sim.WithHistory(h)); err == nil {
+		t.Fatal("NewRunner accepted a history with the wrong node count")
 	}
 }
 

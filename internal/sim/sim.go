@@ -364,6 +364,7 @@ type Runner struct {
 	live      int // processes neither nil nor halted; 0 ends the run
 	envs      []simEnv
 	delayRule DelayRule
+	history   *History
 	maxTime   time.Duration
 	events    int
 	batched   bool
@@ -409,6 +410,16 @@ type Option func(*Runner)
 // WithDelayRule installs an adversarial scheduling rule.
 func WithDelayRule(r DelayRule) Option {
 	return func(rn *Runner) { rn.delayRule = r }
+}
+
+// WithHistory attaches a delivered-message history: the runner records
+// every processed delivery into h and commits it on h's epoch grid, so a
+// DelayRule holding the same *History (as a HistoryView) can adapt to
+// observed traffic while remaining a pure function of the committed prefix.
+// The history must be freshly created (NewHistory) per run and its node
+// count must match the config. See history.go for the commit semantics.
+func WithHistory(h *History) Option {
+	return func(rn *Runner) { rn.history = h }
 }
 
 // WithMaxTime bounds the virtual runtime; the run stops once the clock
@@ -530,6 +541,9 @@ func NewRunner(cfg node.Config, env Environment, seed int64, procs []node.Proces
 		if p != nil {
 			r.live++
 		}
+	}
+	if r.history != nil && r.history.n != cfg.N {
+		return nil, fmt.Errorf("sim: history has n=%d, config has n=%d", r.history.n, cfg.N)
 	}
 	if r.parWorkers > 0 {
 		if err := r.setupParallel(seed); err != nil {
@@ -697,6 +711,10 @@ func (r *Runner) deliver(e *event) bool {
 	to := e.to
 	if r.nodes[to].halted || r.procs[to] == nil {
 		return true
+	}
+	if h := r.history; h != nil {
+		h.observe(e.at)
+		h.record(e.from, to)
 	}
 	r.events++
 	r.stats[to].MsgsRecv++

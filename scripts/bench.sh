@@ -17,19 +17,22 @@
 # benchmarks (BenchmarkSimParallelObsOverhead on the n=1000 parallel sim
 # cell, BenchmarkTCPObsOverhead on the frame-heavy ACS tcp cell; each runs
 # several times and the gate takes the median overhead ratio, because
-# single paired runs on a noisy host wobble by more than the ≤5% bar) —
-# and writes the numbers to BENCH_9.json so perf regressions are diffable
-# across PRs.
+# single paired runs on a noisy host wobble by more than the ≤5% bar),
+# plus BenchmarkAdvSearch (the worst-case adversary search: probe
+# throughput and the searched-worst-vs-best-fixed-preset score ratio per
+# protocol; the gate requires the search to beat or match the preset grid
+# on at least one protocol) — and writes the numbers to BENCH_10.json so
+# perf regressions are diffable across PRs.
 #
 # Usage: scripts/bench.sh [output.json]
 #   SIM_BENCHTIME (default 1s), PAR_BENCHTIME (default 2x),
 #   TCP_BENCHTIME (default 5x), FRAME_BENCHTIME (default 6x),
-#   SERVICE_BENCHTIME (default 1x), OBS_BENCHTIME (default 4x), and
-#   OBS_COUNT (default 3) tune runtime.
+#   SERVICE_BENCHTIME (default 1x), OBS_BENCHTIME (default 4x),
+#   OBS_COUNT (default 3), and SEARCH_BENCHTIME (default 1x) tune runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 sim_benchtime="${SIM_BENCHTIME:-1s}"
 par_benchtime="${PAR_BENCHTIME:-2x}"
 tcp_benchtime="${TCP_BENCHTIME:-5x}"
@@ -37,6 +40,7 @@ frame_benchtime="${FRAME_BENCHTIME:-6x}"
 service_benchtime="${SERVICE_BENCHTIME:-1x}"
 obs_benchtime="${OBS_BENCHTIME:-4x}"
 obs_count="${OBS_COUNT:-3}"
+search_benchtime="${SEARCH_BENCHTIME:-1x}"
 
 echo "== BenchmarkSimCore (${sim_benchtime}) =="
 sim_out=$(go test ./internal/sim -run '^$' -bench BenchmarkSimCore \
@@ -76,6 +80,11 @@ obs_tcp_out=$(go test ./internal/backend -run '^$' -bench BenchmarkTCPObsOverhea
     -benchtime "$obs_benchtime" -count="$obs_count" -timeout 900s 2>/dev/null)
 echo "$obs_tcp_out" | grep BenchmarkTCPObsOverhead
 
+echo "== BenchmarkAdvSearch (${search_benchtime}) =="
+search_out=$(go test ./internal/advsearch -run '^$' -bench BenchmarkAdvSearch \
+    -benchtime "$search_benchtime" -count=1 -timeout 900s 2>/dev/null)
+echo "$search_out" | grep BenchmarkAdvSearch
+
 # obs_extract <bench output> <bench name>: per-run off/on costs plus the
 # median overhead ratio across the repeated runs, as one JSON object.
 obs_extract() {
@@ -106,7 +115,7 @@ obs_extract() {
 
 {
     printf '{\n'
-    printf '  "issue": 9,\n'
+    printf '  "issue": 10,\n'
     printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
     printf '  "host": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
@@ -233,7 +242,29 @@ obs_extract() {
     printf '  "obs_overhead": {\n'
     printf '    "sim_parallel_n1000": %s,\n' "$(obs_extract "$obs_sim_out" BenchmarkSimParallelObsOverhead)"
     printf '    "tcp_acs_frames": %s\n' "$(obs_extract "$obs_tcp_out" BenchmarkTCPObsOverhead)"
-    printf '  }\n'
+    printf '  },\n'
+
+    # Worst-case adversary search: probe throughput on the quick space and
+    # the searched worst case vs the strongest fixed preset, per protocol.
+    printf '  "advsearch": [\n'
+    echo "$search_out" | awk '
+        /^BenchmarkAdvSearch\// {
+            name = $1
+            sub(/^BenchmarkAdvSearch\//, "", name)
+            sub(/-[0-9]+$/, "", name)
+            pps = best = preset = ratio = "null"
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "probes/sec") pps = $i
+                if ($(i+1) == "best_score") best = $i
+                if ($(i+1) == "preset_worst") preset = $i
+                if ($(i+1) == "best_over_preset") ratio = $i
+            }
+            lines[++cnt] = sprintf("    {\"protocol\": \"%s\", \"probes_per_sec\": %s, \"best_score\": %s, \"preset_worst\": %s, \"best_over_preset\": %s}", name, pps, best, preset, ratio)
+        }
+        END {
+            for (i = 1; i <= cnt; i++) printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+        }'
+    printf '  ]\n'
     printf '}\n'
 } > "$out"
 
@@ -273,3 +304,16 @@ for cell in sim_parallel_n1000 tcp_acs_frames; do
     }
     echo "tracing overhead on $cell is $ovh <= 1.05"
 done
+
+# The worst-case search's acceptance bar: on at least one protocol the
+# searched worst case must beat or match the strongest fixed preset at the
+# same probe budget (the search is an argmax over both, so a ratio below
+# 1.0 means the accounting itself broke).
+best_ratio=$(awk -F'"best_over_preset": ' '
+    /"best_over_preset"/ { split($2, a, /[,}]/); if (a[1] + 0 > m) m = a[1] + 0 }
+    END { printf "%.3f", m }' "$out")
+awk -v s="$best_ratio" 'BEGIN { exit !(s >= 1.0) }' || {
+    echo "FAIL: searched worst case never reaches the preset grid (max best_over_preset $best_ratio < 1.0)" >&2
+    exit 1
+}
+echo "searched worst case vs best fixed preset: max ratio $best_ratio >= 1.0"

@@ -158,4 +158,30 @@ for w in 4 8; do
     fi
 done
 
+# Worst-case search gate: the adversary-space search (successive halving +
+# annealing, internal/advsearch) is a pure function of its seed — the
+# printed profiles must be byte-identical across reruns AND across
+# -sim-workers counts. All compared runs use the parallel executor: the
+# sequential loop tie-breaks differently by construction, so it is outside
+# this byte-identity contract (its own guarantees are gated above). The
+# search exercises the adaptive adversaries end to end: every probe's
+# history-reactive schedule must reproduce exactly for the bytes to match.
+echo "== worst-case search determinism gate =="
+wc1=$(mktemp)
+wc2=$(mktemp)
+trap 'rm -f "$adv1" "$adv2" "${svc1:-}" "${svc2:-}" "$tr1" "$tr2" "${wc1:-}" "${wc2:-}"' EXIT
+go run ./cmd/experiments -scale quick -seed 1 -sim-workers 1 -run worstcase | grep -v '^\[' > "$wc1"
+go run ./cmd/experiments -scale quick -seed 1 -sim-workers 1 -run worstcase | grep -v '^\[' > "$wc2"
+if ! cmp -s "$wc1" "$wc2"; then
+    echo "worst-case search reruns differ:" >&2
+    diff "$wc1" "$wc2" >&2 || true
+    exit 1
+fi
+go run ./cmd/experiments -scale quick -seed 1 -sim-workers 4 -run worstcase | grep -v '^\[' > "$wc2"
+if ! cmp -s "$wc1" "$wc2"; then
+    echo "worst-case search differs between -sim-workers 1 and 4:" >&2
+    diff "$wc1" "$wc2" >&2 || true
+    exit 1
+fi
+
 echo "CI OK"
